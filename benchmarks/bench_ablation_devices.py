@@ -1,0 +1,54 @@
+"""Ablation: the storage-device calibration behind Table III.
+
+Every experiment's timing shape rests on the device model, so this bench
+validates its two load-bearing properties: the tier ordering (the same
+workload must get monotonically slower moving down the hierarchy) and the
+contention model (shared filesystems degrade with concurrency; node-local
+flash barely does).
+"""
+
+import numpy as np
+
+from repro.hdf5 import H5File
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+def _workload_time(device: str, concurrency: int = 1) -> float:
+    clock = SimClock()
+    dev = make_device(device)
+    dev.set_concurrency(concurrency)
+    fs = SimFS(clock, mounts=[Mount("/", dev)])
+    with H5File(fs, "/w.h5", "w") as f:
+        f.create_dataset("d", shape=(250_000,), dtype="f8",
+                         data=np.zeros(250_000))
+    with H5File(fs, "/w.h5", "r") as f:
+        f["d"].read()
+    return clock.now
+
+
+def test_ablation_tier_ordering(run_once):
+    times = run_once(lambda: {
+        name: _workload_time(name)
+        for name in ("ram", "nvme", "sata_ssd", "hdd", "nfs", "beegfs")
+    })
+    assert times["ram"] < times["nvme"] < times["sata_ssd"]
+    assert times["sata_ssd"] < times["nfs"]
+    assert times["nvme"] < times["beegfs"] < times["nfs"]
+
+
+def test_ablation_contention_model(run_once):
+    result = run_once(lambda: {
+        "beegfs_1": _workload_time("beegfs", 1),
+        "beegfs_16": _workload_time("beegfs", 16),
+        "nvme_1": _workload_time("nvme", 1),
+        "nvme_16": _workload_time("nvme", 16),
+    })
+    shared_slowdown = result["beegfs_16"] / result["beegfs_1"]
+    local_slowdown = result["nvme_16"] / result["nvme_1"]
+    # Shared PFS serializes a large fraction under concurrency...
+    assert shared_slowdown > 3.0
+    # ...node-local NVMe barely notices.
+    assert local_slowdown < 2.0
+    assert shared_slowdown > local_slowdown

@@ -1,0 +1,48 @@
+"""Ablation: DaYu's data-collection granularity knobs.
+
+The Input Parser exposes two storage-overhead levers the paper describes:
+turning time-sensitive I/O tracing off entirely (constant storage) and
+skipping the first N operations per file.  Both must shrink the trace
+without touching the aggregate session statistics.
+"""
+
+from repro.experiments.common import fresh_env
+from repro.mapper.config import DaYuConfig
+from repro.workloads.corner_case import CornerCaseParams, build_corner_case
+
+MIB = 1 << 20
+
+
+def _run(config: DaYuConfig):
+    env = fresh_env(n_nodes=1, config=config)
+    params = CornerCaseParams(data_dir="/beegfs/corner", n_datasets=100,
+                              file_bytes=4 * MIB, read_repeats=10)
+    env.runner.run(build_corner_case(params))
+    profile = env.mapper.profiles["corner_case"]
+    return profile
+
+
+def test_ablation_trace_io_off(run_once):
+    full, off = run_once(lambda: (
+        _run(DaYuConfig(trace_io=True)),
+        _run(DaYuConfig(trace_io=False)),
+    ))
+    # Tracing off: no per-op records, far smaller trace...
+    assert off.io_records == []
+    assert off.storage_bytes < full.storage_bytes / 5
+    # ...but identical aggregate session statistics (constant storage mode).
+    assert len(off.file_sessions) == len(full.file_sessions)
+    assert off.file_sessions[0].read_ops == full.file_sessions[0].read_ops
+    # And identical VOL semantics.
+    assert len(off.object_profiles) == len(full.object_profiles)
+
+
+def test_ablation_skip_ops(run_once):
+    full, skipping = run_once(lambda: (
+        _run(DaYuConfig(skip_ops=0)),
+        _run(DaYuConfig(skip_ops=50)),
+    ))
+    assert 0 < len(skipping.io_records) < len(full.io_records)
+    assert skipping.storage_bytes < full.storage_bytes
+    # Sessions still count every operation.
+    assert skipping.file_sessions[0].total_ops == full.file_sessions[0].total_ops

@@ -1,0 +1,30 @@
+"""Figure 10: breakdown of DaYu's execution time by component.
+
+Paper: h5bench (80 GB / 64 procs) → 38.83 ms total, 0.008% of execution,
+Characteristic-Mapper-dominated; corner case → 813.74 ms, ~4% (2.97% VFD +
+1.0% VOL), Access-Tracker-dominated.
+"""
+
+from repro.experiments.fig10_breakdown import (
+    run_fig10a_h5bench,
+    run_fig10b_corner_case,
+)
+
+
+def test_fig10a_h5bench_breakdown(run_once):
+    result = run_once(run_fig10a_h5bench, 80, 8)
+    benchmark_table = result.to_table()
+    shares = result.shares
+    # Mapper-dominated; total overhead a tiny fraction of execution.
+    assert shares["Characteristic_Mapper"] > max(
+        shares["Input_Parser"], shares["Access_Tracker"])
+    assert result.report.runtime_percent < 0.25
+
+
+def test_fig10b_corner_case_breakdown(run_once):
+    result = run_once(run_fig10b_corner_case, 50, 40)
+    shares = result.shares
+    assert shares["Access_Tracker"] > 0.5          # tracker-dominated
+    assert result.report.vfd_percent > result.report.vol_percent
+    assert result.report.runtime_percent < 4.5     # paper: ~4%
+    assert result.report.runtime_percent > 1.0     # genuinely a corner case

@@ -1,0 +1,25 @@
+"""Figure 11: PyFLEXTRKR stages 3-5, baseline vs. DaYu-guided placement.
+
+Paper: C1 (170 MB / 48 procs / 2 nodes) and C2 (1.2 GB / 240 procs /
+8 nodes); co-scheduling + staging yields 1.6x overall, 2.6x on stage 3
+in C1.
+"""
+
+from repro.experiments.fig11_placement import C1, C2, run_fig11
+
+
+def test_fig11_c1(run_once):
+    table = run_once(run_fig11, [C1])
+    baseline, optimized = table.rows
+    overall = baseline["total_s"] / optimized["total_s"]
+    stage3 = baseline["Stage 3"] / optimized["Stage 3"]
+    assert 1.3 <= overall <= 2.1   # paper: ~1.6x
+    assert 1.8 <= stage3 <= 3.4    # paper: ~2.6x
+
+
+def test_fig11_c2(run_once):
+    table = run_once(run_fig11, [C2])
+    baseline, optimized = table.rows
+    overall = baseline["total_s"] / optimized["total_s"]
+    assert 1.3 <= overall <= 2.1   # paper: ~1.6x
+    assert optimized["Stage 3"] < baseline["Stage 3"]

@@ -1,0 +1,16 @@
+"""Figure 12: DDMD (12 tasks) baseline vs. DaYu-optimized, 5 iterations.
+
+Paper: 1.15x per pipeline iteration, 1.2x across the 5-iteration pipeline.
+"""
+
+from repro.experiments.fig12_ddmd import Fig12Params, run_fig12
+
+
+def test_fig12_five_iterations(run_once):
+    table = run_once(run_fig12, Fig12Params(iterations=5))
+    speedups = table.column("speedup")
+    assert all(s > 1.0 for s in speedups)
+    baseline_total = sum(table.column("baseline_s"))
+    optimized_total = sum(table.column("optimized_s"))
+    overall = baseline_total / optimized_total
+    assert 1.05 <= overall <= 1.45  # paper: ~1.2x

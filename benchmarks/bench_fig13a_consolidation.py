@@ -1,0 +1,22 @@
+"""Figure 13a: PyFLEXTRKR stage-9 — scattered vs. consolidated datasets.
+
+Paper: 32 datasets x 23 accesses on node-local NVMe, dataset sizes
+1-8 KB, 1-16 processes; consolidation cuts I/O time by 1.7x-3.7x.
+"""
+
+from repro.experiments.fig13a_consolidation import Fig13aParams, run_fig13a
+
+
+def test_fig13a_consolidation_sweep(run_once):
+    table = run_once(
+        run_fig13a,
+        Fig13aParams(dataset_bytes=(1024, 2048, 4096, 8192),
+                     process_counts=(1, 4, 16)),
+    )
+    for row in table.rows:
+        assert 1.5 <= row["reduction"] <= 4.0  # paper band: 1.7-3.7x
+    # I/O time grows with concurrency for both variants.
+    ones = [r for r in table.rows if r["processes"] == 1]
+    sixteens = [r for r in table.rows if r["processes"] == 16]
+    assert sum(r["baseline_ms"] for r in sixteens) > sum(
+        r["baseline_ms"] for r in ones)

@@ -1,0 +1,20 @@
+"""Figure 13b: DDMD datasets — chunked (baseline) vs. contiguous layout.
+
+Paper: dataset sizes 100-800 KB, process sweep; contiguous consistently
+wins, up to 1.9x under high concurrency.
+"""
+
+from repro.experiments.fig13b_layout import Fig13bParams, run_fig13b
+
+
+def test_fig13b_layout_sweep(run_once):
+    table = run_once(
+        run_fig13b,
+        Fig13bParams(dataset_kib=(100, 200, 400, 800),
+                     process_counts=(1, 2, 4, 8)),
+    )
+    for row in table.rows:
+        assert row["speedup"] > 1.0  # contiguous always wins here
+        assert row["speedup"] <= 2.6  # same regime as the paper's <=1.9x
+    best = max(table.column("speedup"))
+    assert best >= 1.5

@@ -1,0 +1,29 @@
+"""Figure 13c: ARLDM variable-length data — contiguous vs. chunked.
+
+Paper: write time of arldm_saveh5 at 5/10/20 GB (scaled to MiB here);
+layouts comparable at the small scale, chunked up to 1.4x faster at the
+large scale with ~2x fewer write operations.
+"""
+
+from repro.experiments.fig13c_arldm import Fig13cParams, run_fig13c
+
+
+def test_fig13c_vlen_layout_sweep(run_once):
+    table = run_once(run_fig13c, Fig13cParams(total_mib=(5, 10, 20)))
+
+    def speedup(total, variant):
+        return next(r["speedup_vs_contig"] for r in table.rows
+                    if r["total_mib"] == total and r["variant"] == variant)
+
+    # Comparable at the smallest scale; chunked advantage grows with size.
+    assert 0.8 <= speedup(5, "5 chunks") <= 1.4
+    assert speedup(20, "5 chunks") > speedup(5, "5 chunks")
+    assert speedup(20, "5 chunks") >= 1.2  # paper: up to 1.4x
+
+    # ~2x fewer write operations for the optimal chunking.
+    contig_ops = next(r["write_ops"] for r in table.rows
+                      if r["total_mib"] == 20
+                      and r["variant"].startswith("contiguous"))
+    chunk_ops = next(r["write_ops"] for r in table.rows
+                     if r["total_mib"] == 20 and r["variant"] == "5 chunks")
+    assert chunk_ops <= contig_ops / 1.5

@@ -1,0 +1,38 @@
+"""Figure 4: the PyFLEXTRKR nine-stage FTG with its circled observations.
+
+Regenerates the graph and checks the three circled findings: the stage-3
+write-after-read, the stage-6 time-dependent inputs, and stage-1 output
+reuse by multiple downstream stages.
+"""
+
+from repro.analyzer import build_ftg, file_node
+from repro.diagnostics import InsightKind, diagnose
+from repro.experiments.common import fresh_env
+from repro.workloads.pyflextrkr import (
+    PyflextrkrParams,
+    build_pyflextrkr,
+    prepare_pyflextrkr_inputs,
+)
+
+
+def test_fig4_ftg(run_once):
+    def build():
+        env = fresh_env(n_nodes=2)
+        params = PyflextrkrParams(data_dir="/beegfs/flex", n_files=8,
+                                  grid=4096, n_parallel=4)
+        prepare_pyflextrkr_inputs(env.cluster, params)
+        env.runner.run(build_pyflextrkr(params))
+        profiles = list(env.mapper.profiles.values())
+        return build_ftg(profiles), diagnose(profiles, late_fraction=0.2), params
+
+    ftg, report, params = run_once(build)
+    # Circle 1: stage-3 write-after-read.
+    war = report.by_kind(InsightKind.WRITE_AFTER_READ)
+    assert any("run_gettracks" in i.tasks for i in war)
+    # Circle 2: terrain inputs only needed mid-workflow.
+    tdi = report.by_kind(InsightKind.TIME_DEPENDENT_INPUT)
+    assert any("terrain" in i.subject for i in tdi)
+    # Circle 3: stage-1 outputs reused by multiple downstream stages.
+    feature = file_node(params.feature(0))
+    assert ftg.nodes[feature]["reused"]
+    assert len(list(ftg.successors(feature))) >= 3

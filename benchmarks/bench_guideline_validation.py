@@ -1,0 +1,20 @@
+"""Section III-A.4 guideline validation.
+
+Measures every cell of the paper's data-layout decision table (small/large
+fixed-length × sequential/non-sequential access, plus variable-length) and
+checks the layout advisor picks the empirically cheaper layout everywhere.
+"""
+
+from repro.experiments.guideline_validation import (
+    GuidelineValidationParams,
+    run_guideline_validation,
+)
+
+
+def test_guideline_decision_table(run_once):
+    table = run_once(run_guideline_validation, GuidelineValidationParams())
+    assert all(row["agrees"] for row in table.rows)
+    # The non-sequential regime is where chunking matters most: the gap
+    # must be large, not marginal.
+    random_row = next(r for r in table.rows if "random" in r["regime"])
+    assert random_row["contiguous_ms"] > random_row["chunked_ms"] * 5

@@ -1,0 +1,25 @@
+"""Table III: machine configurations.
+
+Builds both evaluation clusters and checks they expose exactly the compute
+and storage options of the paper's Table III.
+"""
+
+from repro.cluster import cpu_cluster, gpu_cluster
+from repro.simclock import SimClock
+
+
+def test_table3_cpu_cluster(run_once):
+    cluster = run_once(lambda: cpu_cluster(SimClock(), n_nodes=2))
+    node = cluster.node("n0")
+    assert node.cpus == 20  # 2x Xeon Silver 4114 (10 cores each)
+    assert node.ram_bytes == 48 * (1 << 30)
+    assert set(node.local_tiers) == {"nvme", "ssd", "hdd"}
+    assert set(cluster.shared_devices) == {"/nfs"}
+
+
+def test_table3_gpu_cluster(run_once):
+    cluster = run_once(lambda: gpu_cluster(SimClock(), n_nodes=2))
+    node = cluster.node("n0")
+    assert node.ram_bytes == 384 * (1 << 30)
+    assert set(node.local_tiers) == {"ssd"}
+    assert set(cluster.shared_devices) == {"/nfs", "/beegfs"}

@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark wraps one experiment harness from :mod:`repro.experiments`.
+The experiments are deterministic simulations, so each runs once per
+benchmark (``rounds=1``) — the interesting output is the *result table*
+(attached to ``benchmark.extra_info``) and the paper-shape assertions, not
+run-to-run variance.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result; the result table (when present) is attached as extra info."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        if hasattr(result, "to_markdown"):
+            benchmark.extra_info["table"] = result.to_markdown()
+        return result
+
+    return runner

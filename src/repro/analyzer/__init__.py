@@ -1,0 +1,66 @@
+"""The Workflow Analyzer — DaYu core component #2 (paper Section V).
+
+Connects data accesses to workflow tasks as decorated dependence graphs:
+
+- :func:`~repro.analyzer.graphs.build_ftg` — **File-Task Graphs**: files
+  and tasks as nodes, directed read/write edges carrying access statistics
+  (the paper's Figure 4 and 6).
+- :func:`~repro.analyzer.graphs.build_sdg` — **Semantic Dataflow Graphs**:
+  FTGs enriched with a data-object layer and optional file-address-region
+  nodes (the paper's Figures 3, 5, 7, 8).
+- :mod:`~repro.analyzer.resolution` — resolution adjustment: grouping and
+  aggregating nodes by task, stage, time, or location when graphs get
+  complex.
+- :mod:`~repro.analyzer.html_export` / :mod:`~repro.analyzer.dot_export` —
+  interactive self-contained HTML/SVG and Graphviz DOT renderings.
+"""
+
+from repro.analyzer.compare import RunComparison, compare_runs
+from repro.analyzer.dot_export import to_dot
+from repro.analyzer.graphs import (
+    NodeKind,
+    build_ftg,
+    build_sdg,
+    dataset_node,
+    file_node,
+    mark_data_reuse,
+    region_node,
+    task_node,
+)
+from repro.analyzer.html_export import to_html
+from repro.analyzer.ordering import (
+    CyclicDependencyError,
+    dependency_dag,
+    infer_task_order,
+)
+from repro.analyzer.resolution import aggregate_by, condense_regions
+from repro.analyzer.serialize import (
+    graph_from_json,
+    graph_from_json_dict,
+    graph_to_json,
+    graph_to_json_dict,
+)
+
+__all__ = [
+    "NodeKind",
+    "build_ftg",
+    "build_sdg",
+    "task_node",
+    "file_node",
+    "dataset_node",
+    "region_node",
+    "mark_data_reuse",
+    "aggregate_by",
+    "condense_regions",
+    "to_dot",
+    "to_html",
+    "compare_runs",
+    "RunComparison",
+    "dependency_dag",
+    "infer_task_order",
+    "CyclicDependencyError",
+    "graph_to_json",
+    "graph_from_json",
+    "graph_to_json_dict",
+    "graph_from_json_dict",
+]

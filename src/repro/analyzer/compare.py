@@ -1,0 +1,151 @@
+"""Run comparison: quantify what an optimization changed.
+
+After applying DaYu's recommendations, the analyst wants to see *where*
+the I/O went: which files lost operations, which tasks got faster, how the
+metadata/data balance moved.  :func:`compare_runs` diffs two runs' task
+profiles and reports per-task and per-file deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.mapper.mapper import TaskProfile
+
+__all__ = ["RunComparison", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class _Totals:
+    ops: int = 0
+    volume: int = 0
+    metadata_ops: int = 0
+    io_time: float = 0.0
+
+    def __add__(self, other: "_Totals") -> "_Totals":
+        return _Totals(
+            self.ops + other.ops,
+            self.volume + other.volume,
+            self.metadata_ops + other.metadata_ops,
+            self.io_time + other.io_time,
+        )
+
+
+def _per_task(profiles: Sequence[TaskProfile]) -> Dict[str, _Totals]:
+    out: Dict[str, _Totals] = {}
+    for p in profiles:
+        total = _Totals()
+        for s in p.dataset_stats:
+            total = total + _Totals(s.access_count, s.access_volume,
+                                    s.metadata_ops, s.io_time)
+        out[p.task] = total
+    return out
+
+
+def _per_file(profiles: Sequence[TaskProfile]) -> Dict[str, _Totals]:
+    out: Dict[str, _Totals] = {}
+    for p in profiles:
+        for s in p.dataset_stats:
+            cur = out.get(s.file, _Totals())
+            out[s.file] = cur + _Totals(s.access_count, s.access_volume,
+                                        s.metadata_ops, s.io_time)
+    return out
+
+
+def _delta(before: float, after: float) -> float:
+    """Signed relative change; -0.5 means halved, +1.0 means doubled."""
+    if before == 0:
+        return 0.0 if after == 0 else float("inf")
+    return (after - before) / before
+
+
+@dataclass
+class RunComparison:
+    """Differences between a baseline run and an optimized run."""
+
+    task_rows: List[dict] = field(default_factory=list)
+    file_rows: List[dict] = field(default_factory=list)
+
+    @property
+    def total_io_time_delta(self) -> float:
+        before = sum(r["io_time_before"] for r in self.task_rows)
+        after = sum(r["io_time_after"] for r in self.task_rows)
+        return _delta(before, after)
+
+    @property
+    def total_ops_delta(self) -> float:
+        before = sum(r["ops_before"] for r in self.task_rows)
+        after = sum(r["ops_after"] for r in self.task_rows)
+        return _delta(before, after)
+
+    def improved_files(self, metric: str = "io_time") -> List[str]:
+        """Files whose ``metric`` decreased, most-improved first."""
+        rows = [r for r in self.file_rows
+                if r[f"{metric}_after"] < r[f"{metric}_before"]]
+        rows.sort(key=lambda r: r[f"{metric}_after"] - r[f"{metric}_before"])
+        return [r["file"] for r in rows]
+
+    def regressed_files(self, metric: str = "io_time") -> List[str]:
+        rows = [r for r in self.file_rows
+                if r[f"{metric}_after"] > r[f"{metric}_before"]]
+        rows.sort(key=lambda r: r[f"{metric}_before"] - r[f"{metric}_after"])
+        return [r["file"] for r in rows]
+
+    def to_markdown(self) -> str:
+        def pct(x: float) -> str:
+            if x == float("inf"):
+                return "new"
+            return f"{x * 100:+.1f}%"
+
+        lines = ["### Run comparison (baseline → optimized)", ""]
+        lines.append(
+            f"Total I/O time {pct(self.total_io_time_delta)}, "
+            f"operations {pct(self.total_ops_delta)}."
+        )
+        lines.append("")
+        lines.append("| task | ops | volume | metadata ops | I/O time |")
+        lines.append("|---|---|---|---|---|")
+        for r in self.task_rows:
+            lines.append(
+                f"| {r['task']} | {pct(r['ops_delta'])} "
+                f"| {pct(r['volume_delta'])} | {pct(r['metadata_delta'])} "
+                f"| {pct(r['io_time_delta'])} |"
+            )
+        return "\n".join(lines)
+
+
+def compare_runs(
+    baseline: Sequence[TaskProfile],
+    optimized: Sequence[TaskProfile],
+) -> RunComparison:
+    """Diff two runs.  Tasks/files present in only one run still appear
+    (with zeros on the other side)."""
+    comparison = RunComparison()
+
+    before_tasks, after_tasks = _per_task(baseline), _per_task(optimized)
+    for task in sorted(set(before_tasks) | set(after_tasks)):
+        b = before_tasks.get(task, _Totals())
+        a = after_tasks.get(task, _Totals())
+        comparison.task_rows.append({
+            "task": task,
+            "ops_before": b.ops, "ops_after": a.ops,
+            "ops_delta": _delta(b.ops, a.ops),
+            "volume_before": b.volume, "volume_after": a.volume,
+            "volume_delta": _delta(b.volume, a.volume),
+            "metadata_before": b.metadata_ops, "metadata_after": a.metadata_ops,
+            "metadata_delta": _delta(b.metadata_ops, a.metadata_ops),
+            "io_time_before": b.io_time, "io_time_after": a.io_time,
+            "io_time_delta": _delta(b.io_time, a.io_time),
+        })
+
+    before_files, after_files = _per_file(baseline), _per_file(optimized)
+    for file in sorted(set(before_files) | set(after_files)):
+        b = before_files.get(file, _Totals())
+        a = after_files.get(file, _Totals())
+        comparison.file_rows.append({
+            "file": file,
+            "ops_before": b.ops, "ops_after": a.ops,
+            "io_time_before": b.io_time, "io_time_after": a.io_time,
+        })
+    return comparison

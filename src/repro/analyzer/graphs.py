@@ -1,0 +1,298 @@
+"""FTG and SDG construction.
+
+Both graphs are ``networkx.DiGraph`` instances with typed nodes and
+statistics-decorated edges:
+
+Node attributes:
+    ``kind`` (:class:`NodeKind` value), ``label`` (display name), and for
+    task nodes ``start``/``end`` (execution span); for data-bearing nodes
+    ``volume`` (bytes moved through the node).
+
+Edge attributes:
+    ``operation`` (``"read"`` or ``"write"`` — the direction of data flow),
+    ``count`` (I/O operations), ``volume`` (bytes), ``bandwidth``
+    (bytes/second), ``data_ops``/``data_bytes`` and
+    ``metadata_ops``/``metadata_bytes`` (the HDF5 raw vs. metadata split
+    interactable in the paper's HTML graphs), and ``start``/``end``
+    (first/last touch times, used for temporal layout).
+
+Direction convention (matching the paper's left-to-right data flow):
+    *reads* flow ``file → [region → dataset →] task`` and *writes* flow
+    ``task → [dataset → region →] file``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.mapper.mapper import TaskProfile
+from repro.mapper.stats import FILE_METADATA_OBJECT, DatasetIoStats
+
+__all__ = [
+    "NodeKind",
+    "task_node",
+    "file_node",
+    "dataset_node",
+    "region_node",
+    "build_ftg",
+    "build_sdg",
+    "mark_data_reuse",
+]
+
+
+class NodeKind(str, enum.Enum):
+    """Typed graph node categories (drive colors in the visualizer)."""
+
+    TASK = "task"
+    FILE = "file"
+    DATASET = "dataset"
+    REGION = "region"
+
+
+def task_node(name: str) -> str:
+    return f"task:{name}"
+
+
+def file_node(path: str) -> str:
+    return f"file:{path}"
+
+
+def dataset_node(file: str, obj: str) -> str:
+    return f"dataset:{file}:{obj}"
+
+
+def region_node(file: str, lo: int, hi: int) -> str:
+    return f"region:{file}:[{lo}-{hi})"
+
+
+def _ensure_node(g: nx.DiGraph, node: str, kind: NodeKind, label: str, **attrs) -> None:
+    if node not in g:
+        g.add_node(node, kind=kind.value, label=label, volume=0, **attrs)
+
+
+def _bump_edge(g: nx.DiGraph, u: str, v: str, stats: DatasetIoStats, op: str) -> None:
+    """Add/merge an edge carrying the given operation's share of ``stats``."""
+    if op == "read":
+        count, volume = stats.reads, stats.bytes_read
+    else:
+        count, volume = stats.writes, stats.bytes_written
+    if count == 0:
+        return
+    data = g.get_edge_data(u, v)
+    if data is None:
+        g.add_edge(
+            u, v,
+            operation=op,
+            count=count,
+            volume=volume,
+            io_time=stats.io_time,
+            data_ops=stats.data_ops,
+            data_bytes=stats.data_bytes,
+            metadata_ops=stats.metadata_ops,
+            metadata_bytes=stats.metadata_bytes,
+            start=stats.first_start,
+            end=stats.last_end,
+        )
+        data = g.get_edge_data(u, v)
+    else:
+        data["count"] += count
+        data["volume"] += volume
+        data["io_time"] += stats.io_time
+        data["data_ops"] += stats.data_ops
+        data["data_bytes"] += stats.data_bytes
+        data["metadata_ops"] += stats.metadata_ops
+        data["metadata_bytes"] += stats.metadata_bytes
+        if stats.first_start is not None:
+            data["start"] = min(x for x in (data["start"], stats.first_start) if x is not None) \
+                if data["start"] is not None else stats.first_start
+        if stats.last_end is not None:
+            data["end"] = max(x for x in (data["end"], stats.last_end) if x is not None) \
+                if data["end"] is not None else stats.last_end
+    data["bandwidth"] = data["volume"] / data["io_time"] if data["io_time"] > 0 else 0.0
+    g.nodes[u]["volume"] += volume
+    g.nodes[v]["volume"] += volume
+
+
+def _ordered_profiles(
+    profiles: Iterable[TaskProfile], task_order: Optional[Sequence[str]]
+) -> List[TaskProfile]:
+    items = list(profiles)
+    if task_order is not None:
+        index = {name: i for i, name in enumerate(task_order)}
+        missing = [p.task for p in items if p.task not in index]
+        if missing:
+            raise ValueError(f"task_order missing tasks: {missing}")
+        items.sort(key=lambda p: index[p.task])
+    return items
+
+
+def build_ftg(
+    profiles: Iterable[TaskProfile],
+    task_order: Optional[Sequence[str]] = None,
+) -> nx.DiGraph:
+    """Build a File-Task Graph from per-task profiles.
+
+    Files and tasks are nodes; a read becomes a ``file → task`` edge and a
+    write a ``task → file`` edge, each decorated with the aggregated access
+    statistics of every data object moved over it.
+
+    Args:
+        profiles: Task profiles, normally in execution order.
+        task_order: Explicit execution order (the manual task ordering the
+            paper's current FTG construction requires); validated against
+            the profiles when given.
+    """
+    g = nx.DiGraph(graph_type="FTG")
+    for seq, profile in enumerate(_ordered_profiles(profiles, task_order)):
+        t = task_node(profile.task)
+        _ensure_node(
+            g, t, NodeKind.TASK, profile.task,
+            start=profile.span.start, end=profile.span.end, order=seq,
+        )
+        # Aggregate object rows up to (file, direction).
+        for stats in profile.dataset_stats:
+            f = file_node(stats.file)
+            _ensure_node(g, f, NodeKind.FILE, stats.file)
+            if stats.reads:
+                _bump_edge(g, f, t, stats, "read")
+            if stats.writes:
+                _bump_edge(g, t, f, stats, "write")
+    mark_data_reuse(g)
+    return g
+
+
+def build_sdg(
+    profiles: Iterable[TaskProfile],
+    task_order: Optional[Sequence[str]] = None,
+    with_regions: bool = False,
+    region_bytes: int = 65536,
+    page_size: int = 4096,
+) -> nx.DiGraph:
+    """Build a Semantic Dataflow Graph.
+
+    Adds a data-object layer between files and tasks, and optionally file
+    address-region nodes showing where each dataset's content lands in the
+    file (the paper's Figure 3 / Figure 8 view).
+
+    Args:
+        profiles: Task profiles.
+        task_order: Optional explicit execution order.
+        with_regions: Insert ``addr[lo-hi)`` nodes between datasets and
+            their files.
+        region_bytes: Width of one address region in bytes.
+        page_size: Page size the profiles' region histograms were recorded
+            at (``DaYuConfig.page_size``); region membership is computed
+            from those page indices.
+    """
+    if region_bytes % page_size != 0:
+        raise ValueError(
+            f"region_bytes ({region_bytes}) must be a multiple of the "
+            f"profile page size ({page_size})"
+        )
+    pages_per_region = region_bytes // page_size
+    g = nx.DiGraph(graph_type="SDG", region_bytes=region_bytes)
+    for seq, profile in enumerate(_ordered_profiles(profiles, task_order)):
+        t = task_node(profile.task)
+        _ensure_node(
+            g, t, NodeKind.TASK, profile.task,
+            start=profile.span.start, end=profile.span.end, order=seq,
+        )
+        for stats in profile.dataset_stats:
+            f = file_node(stats.file)
+            _ensure_node(g, f, NodeKind.FILE, stats.file)
+            d = dataset_node(stats.file, stats.data_object)
+            label = stats.data_object.lstrip("/") or stats.data_object
+            _ensure_node(g, d, NodeKind.DATASET, label, file=stats.file)
+            if stats.reads:
+                _bump_edge(g, f, d, stats, "read")
+                _bump_edge(g, d, t, stats, "read")
+            if stats.writes:
+                _bump_edge(g, t, d, stats, "write")
+                _bump_edge(g, d, f, stats, "write")
+            if with_regions:
+                _wire_regions(g, stats, d, f, pages_per_region, region_bytes)
+    if with_regions:
+        _strip_direct_dataset_file_edges(g)
+    mark_data_reuse(g)
+    return g
+
+
+def _wire_regions(
+    g: nx.DiGraph,
+    stats: DatasetIoStats,
+    d: str,
+    f: str,
+    pages_per_region: int,
+    region_bytes: int,
+) -> None:
+    """Insert region nodes between a dataset and its file."""
+    regions: Dict[int, int] = defaultdict(int)
+    for page, count in stats.regions.items():
+        regions[page // pages_per_region] += count
+    for region_idx, count in sorted(regions.items()):
+        lo = region_idx * region_bytes
+        hi = lo + region_bytes
+        r = region_node(stats.file, lo, hi)
+        _ensure_node(
+            g, r, NodeKind.REGION, f"addr[{lo}-{hi})", file=stats.file,
+            region=(lo, hi),
+        )
+        share = count / max(sum(regions.values()), 1)
+        if stats.writes:
+            _bump_edge(g, d, r, _scaled(stats, share), "write")
+            _bump_edge(g, r, f, _scaled(stats, share), "write")
+        if stats.reads:
+            _bump_edge(g, f, r, _scaled(stats, share), "read")
+            _bump_edge(g, r, d, _scaled(stats, share), "read")
+
+
+def _scaled(stats: DatasetIoStats, share: float) -> DatasetIoStats:
+    """A proportional slice of ``stats`` for one address region."""
+    out = DatasetIoStats(task=stats.task, file=stats.file, data_object=stats.data_object)
+    out.reads = max(round(stats.reads * share), 1 if stats.reads else 0)
+    out.writes = max(round(stats.writes * share), 1 if stats.writes else 0)
+    out.bytes_read = round(stats.bytes_read * share)
+    out.bytes_written = round(stats.bytes_written * share)
+    out.data_ops = round(stats.data_ops * share)
+    out.data_bytes = round(stats.data_bytes * share)
+    out.metadata_ops = round(stats.metadata_ops * share)
+    out.metadata_bytes = round(stats.metadata_bytes * share)
+    out.io_time = stats.io_time * share
+    out.first_start = stats.first_start
+    out.last_end = stats.last_end
+    return out
+
+
+def _strip_direct_dataset_file_edges(g: nx.DiGraph) -> None:
+    """With region nodes in place, remove redundant dataset↔file edges."""
+    drop = []
+    for u, v in g.edges:
+        ku, kv = g.nodes[u]["kind"], g.nodes[v]["kind"]
+        if {ku, kv} == {NodeKind.DATASET.value, NodeKind.FILE.value}:
+            drop.append((u, v))
+    g.remove_edges_from(drop)
+
+
+def mark_data_reuse(g: nx.DiGraph) -> List[str]:
+    """Flag data nodes consumed by multiple downstream consumers.
+
+    A file or dataset node with more than one outgoing edge means its
+    content is reused (the orange edges of the paper's Figure 4).  Sets
+    ``reused=True`` on the node and ``reuse=True`` on its out-edges;
+    returns the flagged node ids.
+    """
+    flagged = []
+    for node, attrs in g.nodes(data=True):
+        if attrs["kind"] in (NodeKind.FILE.value, NodeKind.DATASET.value):
+            out = list(g.successors(node))
+            reused = len(out) >= 2
+            g.nodes[node]["reused"] = reused
+            for v in out:
+                g.edges[node, v]["reuse"] = reused
+            if reused:
+                flagged.append(node)
+    return flagged

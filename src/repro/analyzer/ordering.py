@@ -1,0 +1,93 @@
+"""Task-order inference from dataflow.
+
+The paper's FTG construction "requires manual input for task ordering;
+future DaYu versions will automate this process by integrating with
+workflow management tools".  This module provides that automation from
+the traces themselves: producer→consumer constraints are recovered from
+file-level read-after-write relations, and a stable topological sort
+reconstructs an execution order — so profiles collected without ordering
+metadata (e.g. from concurrently-logging tasks) can still be assembled
+into a correct FTG.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.mapper.mapper import TaskProfile
+
+__all__ = ["dependency_dag", "infer_task_order", "CyclicDependencyError"]
+
+
+class CyclicDependencyError(ValueError):
+    """The traces imply a dependency cycle (e.g. two tasks exchanging data
+    through the same files in both directions)."""
+
+
+def dependency_dag(profiles: Sequence[TaskProfile]) -> nx.DiGraph:
+    """Build the task dependency DAG from producer→consumer file relations.
+
+    An edge ``a → b`` means task ``b`` reads data task ``a`` wrote.  The
+    timestamps inside each profile disambiguate tasks that both read and
+    write the same file: only writes that *precede* another task's first
+    read of the file create an edge.
+    """
+    g = nx.DiGraph()
+    for p in profiles:
+        g.add_node(p.task)
+
+    # Per file: (task, first_write_time) and (task, first_read_time).
+    writes: Dict[str, List[Tuple[str, float]]] = defaultdict(list)
+    reads: Dict[str, List[Tuple[str, float]]] = defaultdict(list)
+    for p in profiles:
+        per_file_write: Dict[str, float] = {}
+        per_file_read: Dict[str, float] = {}
+        for s in p.dataset_stats:
+            if s.first_start is None:
+                continue
+            if s.writes:
+                cur = per_file_write.get(s.file)
+                per_file_write[s.file] = (
+                    s.first_start if cur is None else min(cur, s.first_start))
+            if s.reads:
+                cur = per_file_read.get(s.file)
+                per_file_read[s.file] = (
+                    s.first_start if cur is None else min(cur, s.first_start))
+        for file, t in per_file_write.items():
+            writes[file].append((p.task, t))
+        for file, t in per_file_read.items():
+            reads[file].append((p.task, t))
+
+    for file, readers in reads.items():
+        for reader, read_time in readers:
+            for writer, write_time in writes.get(file, []):
+                if writer != reader and write_time < read_time:
+                    g.add_edge(writer, reader, file=file)
+    return g
+
+
+def infer_task_order(profiles: Sequence[TaskProfile]) -> List[str]:
+    """Reconstruct an execution order consistent with the dataflow.
+
+    Returns task names topologically sorted by the dependency DAG, with
+    ties broken by each task's recorded start time (stable for tasks with
+    no data relation at all).
+
+    Raises:
+        CyclicDependencyError: If the traces imply a dependency cycle.
+    """
+    dag = dependency_dag(profiles)
+    start_of = {p.task: p.span.start for p in profiles}
+    try:
+        generations = list(nx.topological_generations(dag))
+    except nx.NetworkXUnfeasible as exc:
+        cycle = nx.find_cycle(dag)
+        raise CyclicDependencyError(
+            f"tasks form a dependency cycle: {cycle}") from exc
+    order: List[str] = []
+    for generation in generations:
+        order.extend(sorted(generation, key=lambda t: (start_of.get(t, 0.0), t)))
+    return order

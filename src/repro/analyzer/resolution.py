@@ -1,0 +1,117 @@
+"""Resolution adjustment: grouping and aggregating complex graphs.
+
+When SDGs "become complex due to workflows with numerous tasks and parallel
+execution", the Workflow Analyzer lets users group and aggregate nodes by
+time, space, task, or location.  :func:`aggregate_by` condenses a graph
+using an arbitrary node→group mapping; helpers provide the standard
+dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.analyzer.graphs import NodeKind
+
+__all__ = [
+    "aggregate_by",
+    "group_tasks_by_prefix",
+    "group_by_time_bucket",
+    "condense_regions",
+]
+
+
+def aggregate_by(
+    g: nx.DiGraph,
+    grouper: Callable[[str, dict], Hashable],
+) -> nx.DiGraph:
+    """Condense ``g`` by merging nodes that map to the same group key.
+
+    ``grouper(node_id, attrs)`` returns a hashable group key; nodes sharing
+    a key collapse into one node whose volume is summed, and parallel edges
+    between groups merge with summed statistics.  Self-loops created by the
+    merge are dropped.
+
+    The condensed node keeps the ``kind`` of its members when they agree
+    and ``"mixed"`` otherwise.
+    """
+    groups: Dict[Hashable, list] = {}
+    for node, attrs in g.nodes(data=True):
+        groups.setdefault(grouper(node, attrs), []).append(node)
+
+    out = nx.DiGraph(**g.graph)
+    member_of: Dict[str, Hashable] = {}
+    for key, members in groups.items():
+        kinds = {g.nodes[m]["kind"] for m in members}
+        kind = kinds.pop() if len(kinds) == 1 else "mixed"
+        volume = sum(g.nodes[m].get("volume", 0) for m in members)
+        starts = [g.nodes[m]["start"] for m in members if g.nodes[m].get("start") is not None]
+        ends = [g.nodes[m]["end"] for m in members if g.nodes[m].get("end") is not None]
+        out.add_node(
+            str(key),
+            kind=kind,
+            label=str(key),
+            volume=volume,
+            members=len(members),
+            start=min(starts) if starts else None,
+            end=max(ends) if ends else None,
+        )
+        for m in members:
+            member_of[m] = str(key)
+
+    for u, v, attrs in g.edges(data=True):
+        gu, gv = member_of[u], member_of[v]
+        if gu == gv:
+            continue
+        data = out.get_edge_data(gu, gv)
+        if data is None:
+            out.add_edge(gu, gv, **dict(attrs))
+        else:
+            for field in ("count", "volume", "io_time", "data_ops", "data_bytes",
+                          "metadata_ops", "metadata_bytes"):
+                data[field] = data.get(field, 0) + attrs.get(field, 0)
+            data["bandwidth"] = (
+                data["volume"] / data["io_time"] if data.get("io_time") else 0.0
+            )
+    return out
+
+
+def group_tasks_by_prefix(separator: str = "_", keep_parts: int = 1):
+    """Grouper collapsing parallel task instances (``sim_00``, ``sim_01`` →
+    ``sim``); non-task nodes stay singleton groups."""
+
+    def grouper(node: str, attrs: dict) -> str:
+        if attrs["kind"] == NodeKind.TASK.value:
+            label = attrs["label"]
+            parts = label.split(separator)
+            return "task:" + separator.join(parts[:keep_parts])
+        return node
+
+    return grouper
+
+
+def group_by_time_bucket(bucket_seconds: float):
+    """Grouper merging task nodes whose start times share a time bucket."""
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+
+    def grouper(node: str, attrs: dict) -> str:
+        if attrs["kind"] == NodeKind.TASK.value and attrs.get("start") is not None:
+            return f"t[{int(attrs['start'] // bucket_seconds)}]"
+        return node
+
+    return grouper
+
+
+def condense_regions(g: nx.DiGraph) -> nx.DiGraph:
+    """Collapse all address-region nodes of each file into one node —
+    a coarser SDG that keeps the dataset layer but hides address detail."""
+
+    def grouper(node: str, attrs: dict) -> str:
+        if attrs["kind"] == NodeKind.REGION.value:
+            return f"regions:{attrs['file']}"
+        return node
+
+    return aggregate_by(g, grouper)

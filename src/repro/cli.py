@@ -1,0 +1,188 @@
+"""The DaYu command-line toolset.
+
+Two entry points mirror the open-source tool's runtime/offline split:
+
+- ``dayu-run`` — execute one of the case-study workloads under DaYu
+  profiling and save the per-task JSON profiles to a directory.
+- ``dayu-analyze`` — the offline Workflow Analyzer: load saved profiles,
+  build the FTG/SDG (HTML + DOT), run the diagnostics, and print the
+  findings with their optimization recommendations.
+
+Examples::
+
+    dayu-run pyflextrkr --out traces/
+    dayu-analyze traces/ --out graphs/ --regions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analyzer import build_ftg, build_sdg, to_dot, to_html
+from repro.diagnostics import diagnose
+from repro.experiments.common import fresh_env
+from repro.guidelines import recommend
+from repro.mapper.persist import load_profiles_from_host_dir
+
+__all__ = ["run_main", "analyze_main"]
+
+_WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "corner")
+
+
+def _build_workload(name: str, scale: float):
+    """Instantiate a workload (and its input preparer) at a given scale."""
+    if name == "pyflextrkr":
+        from repro.workloads.pyflextrkr import (
+            PyflextrkrParams, build_pyflextrkr, prepare_pyflextrkr_inputs)
+
+        params = PyflextrkrParams(
+            data_dir="/beegfs/flex",
+            n_files=max(int(8 * scale), 2),
+            grid=max(int(4096 * scale), 64),
+            n_parallel=max(int(4 * scale), 1),
+        )
+        return build_pyflextrkr(params), (
+            lambda cluster: prepare_pyflextrkr_inputs(cluster, params))
+    if name == "ddmd":
+        from repro.workloads.ddmd import DdmdParams, build_ddmd
+
+        params = DdmdParams(
+            data_dir="/beegfs/ddmd",
+            n_sim_tasks=max(int(12 * scale), 2),
+            frames=max(int(512 * scale), 16),
+            chunk_elems=max(int(512 * scale), 16),
+        )
+        return build_ddmd(params), None
+    if name == "arldm":
+        from repro.workloads.arldm import ArldmParams, build_arldm
+
+        params = ArldmParams(
+            data_dir="/beegfs/arldm",
+            items=max(int(20 * scale), 4),
+            avg_image_bytes=max(int(8192 * scale), 256),
+        )
+        return build_arldm(params), None
+    if name == "h5bench":
+        from repro.workloads.h5bench import H5benchParams, build_h5bench_write
+
+        params = H5benchParams(
+            data_dir="/beegfs/h5bench",
+            n_procs=max(int(4 * scale), 1),
+            bytes_per_proc=max(int((1 << 21) * scale), 1 << 12),
+        )
+        return build_h5bench_write(params), None
+    if name == "corner":
+        from repro.workloads.corner_case import CornerCaseParams, build_corner_case
+
+        params = CornerCaseParams(
+            data_dir="/beegfs/corner",
+            n_datasets=200,
+            file_bytes=max(int((10 << 20) * scale), 200 * 4),
+            read_repeats=10,
+        )
+        return build_corner_case(params), None
+    raise SystemExit(f"unknown workload {name!r}; choose from {_WORKLOADS}")
+
+
+def run_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``dayu-run``."""
+    parser = argparse.ArgumentParser(
+        prog="dayu-run",
+        description="Run a case-study workload under DaYu profiling and "
+                    "save per-task JSON trace profiles.",
+    )
+    parser.add_argument("workload", choices=_WORKLOADS)
+    parser.add_argument("--out", default="traces",
+                        help="host directory for the JSON profiles")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale multiplier (default 1.0)")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="simulated cluster nodes")
+    args = parser.parse_args(argv)
+
+    env = fresh_env(n_nodes=args.nodes)
+    workflow, prepare = _build_workload(args.workload, args.scale)
+    if prepare is not None:
+        prepare(env.cluster)
+    print(f"Running {args.workload} "
+          f"({len(workflow.all_tasks())} tasks on {args.nodes} node(s))...")
+    result = env.runner.run(workflow)
+    print(f"  makespan: {result.wall_time:.3f} simulated seconds")
+    written = env.mapper.save_to_host_dir(args.out)
+    print(f"  wrote {len(written)} task profile(s) to {args.out}/")
+    return 0
+
+
+def analyze_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``dayu-analyze``."""
+    parser = argparse.ArgumentParser(
+        prog="dayu-analyze",
+        description="Offline Workflow Analyzer: build FTG/SDG graphs and "
+                    "diagnose dataflow from saved DaYu trace profiles.",
+    )
+    parser.add_argument("traces", help="directory of *.json task profiles")
+    parser.add_argument("--out", default="graphs",
+                        help="output directory for HTML/DOT graphs")
+    parser.add_argument("--regions", action="store_true",
+                        help="add file-address-region nodes to the SDG")
+    parser.add_argument("--region-bytes", type=int, default=65536)
+    parser.add_argument("--page-size", type=int, default=4096,
+                        help="page size the traces were recorded at")
+    parser.add_argument("--top", type=int, default=10,
+                        help="recommendations to print")
+    parser.add_argument("--infer-order", action="store_true",
+                        help="recover task execution order from the traces' "
+                             "producer/consumer relations")
+    parser.add_argument("--advisor", action="store_true",
+                        help="print the severity-triaged advisor report")
+    args = parser.parse_args(argv)
+
+    profiles = load_profiles_from_host_dir(args.traces)
+    if not profiles:
+        print(f"no *.json profiles found in {args.traces!r}", file=sys.stderr)
+        return 1
+    print(f"Loaded {len(profiles)} task profile(s) from {args.traces}/")
+
+    task_order = None
+    if args.infer_order:
+        from repro.analyzer import infer_task_order
+
+        task_order = infer_task_order(profiles)
+        print("Inferred task order: " + " → ".join(task_order))
+        profiles.sort(key=lambda p: task_order.index(p.task))
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    ftg = build_ftg(profiles)
+    sdg = build_sdg(profiles, with_regions=args.regions,
+                    region_bytes=args.region_bytes, page_size=args.page_size)
+    for name, graph in (("ftg", ftg), ("sdg", sdg)):
+        (out / f"{name}.html").write_text(to_html(graph, title=f"DaYu {name.upper()}"))
+        (out / f"{name}.dot").write_text(to_dot(graph, title=name))
+    print(f"FTG: {ftg.number_of_nodes()} nodes / {ftg.number_of_edges()} edges; "
+          f"SDG: {sdg.number_of_nodes()} nodes / {sdg.number_of_edges()} edges")
+    print(f"Wrote {out}/ftg.html, {out}/sdg.html (+ .dot)")
+
+    report = diagnose(profiles)
+    print()
+    if args.advisor:
+        from repro.diagnostics import advise
+
+        print(advise(report.insights).render())
+    else:
+        print(report.summary())
+    recs = recommend(report.insights)
+    if recs:
+        print(f"\nTop recommendations:")
+        for rec in recs[: args.top]:
+            print(f"  - {rec}")
+    (out / "insights.json").write_text(report.to_json())
+    print(f"\nWrote {out}/insights.json")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(run_main())

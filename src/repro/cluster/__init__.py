@@ -1,0 +1,13 @@
+"""Simulated multi-node clusters.
+
+Models the paper's Table III testbeds: compute nodes with CPU slots, RAM,
+and node-local storage devices, plus shared mounts (NFS / BeeGFS) visible
+from every node.  A single :class:`~repro.posix.simfs.SimFS` namespace
+backs the whole cluster; node-local mounts live under
+``/local/<node>/<tier>`` so locality is explicit in every path.
+"""
+
+from repro.cluster.cluster import Cluster, Node
+from repro.cluster.configs import cpu_cluster, gpu_cluster
+
+__all__ = ["Cluster", "Node", "cpu_cluster", "gpu_cluster"]

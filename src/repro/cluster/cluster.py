@@ -1,0 +1,142 @@
+"""Cluster and node models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.posix.simfs import SimFS
+from repro.simclock import SimClock
+from repro.storage.devices import StorageDevice, make_device
+from repro.storage.mount import Mount
+
+__all__ = ["Node", "Cluster"]
+
+
+@dataclass
+class Node:
+    """One compute node.
+
+    Attributes:
+        name: Node name (``"n0"``...).
+        cpus: Parallel task slots.
+        ram_bytes: Main-memory capacity (used by caching decisions).
+        local_tiers: Tier name → device catalog name for node-local storage
+            (e.g. ``{"nvme": "nvme", "ssd": "sata_ssd"}``).
+    """
+
+    name: str
+    cpus: int = 8
+    ram_bytes: int = 48 * (1 << 30)
+    local_tiers: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ValueError(f"node {self.name}: cpus must be >= 1")
+
+
+class Cluster:
+    """A set of nodes sharing a filesystem namespace.
+
+    Shared mounts are visible everywhere; each node's local tiers are
+    mounted at ``/local/<node>/<tier>``.  All devices charge the one
+    simulated clock.
+
+    Args:
+        clock: The cluster-wide simulated clock.
+        nodes: Node definitions.
+        shared_mounts: Mapping of mount prefix → device catalog name for
+            the shared filesystems (e.g. ``{"/pfs": "beegfs"}``).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        nodes: Iterable[Node],
+        shared_mounts: Dict[str, str],
+    ) -> None:
+        self.clock = clock
+        self.nodes: Dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            self.nodes[node.name] = node
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+
+        mounts: List[Mount] = []
+        self._shared_devices: Dict[str, StorageDevice] = {}
+        for prefix, device_name in shared_mounts.items():
+            device = make_device(device_name)
+            self._shared_devices[prefix] = device
+            mounts.append(Mount(prefix, device))
+        self._local_devices: Dict[str, Dict[str, StorageDevice]] = {}
+        for node in self.nodes.values():
+            per_tier: Dict[str, StorageDevice] = {}
+            for tier, device_name in node.local_tiers.items():
+                device = make_device(device_name)
+                per_tier[tier] = device
+                mounts.append(
+                    Mount(self.local_prefix(node.name, tier), device, node=node.name)
+                )
+            self._local_devices[node.name] = per_tier
+        self.fs = SimFS(clock, mounts=mounts)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @staticmethod
+    def local_prefix(node: str, tier: str) -> str:
+        """Mount prefix of a node-local tier."""
+        return f"/local/{node}/{tier}"
+
+    def node_names(self) -> List[str]:
+        return list(self.nodes)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r}") from None
+
+    @property
+    def shared_devices(self) -> Dict[str, StorageDevice]:
+        """Shared mount prefix → device."""
+        return dict(self._shared_devices)
+
+    def local_device(self, node: str, tier: str) -> StorageDevice:
+        try:
+            return self._local_devices[node][tier]
+        except KeyError:
+            raise KeyError(f"node {node!r} has no local tier {tier!r}") from None
+
+    def owning_node(self, path: str) -> Optional[str]:
+        """The node a path is local to, or None for shared paths."""
+        return self.fs.mount_for(path).node
+
+    # ------------------------------------------------------------------
+    # Concurrency control (used by the workflow runner)
+    # ------------------------------------------------------------------
+    def set_stage_concurrency(self, tasks_per_node: Dict[str, int]) -> None:
+        """Declare how many tasks run concurrently per node for a stage.
+
+        Shared devices see the total concurrency; each node-local device
+        sees only its node's task count.
+        """
+        total = sum(tasks_per_node.values())
+        for device in self._shared_devices.values():
+            device.set_concurrency(max(total, 1))
+        for node, per_tier in self._local_devices.items():
+            n = tasks_per_node.get(node, 0)
+            for device in per_tier.values():
+                device.set_concurrency(max(n, 1))
+
+    def reset_concurrency(self) -> None:
+        for device in self._shared_devices.values():
+            device.set_concurrency(1)
+        for per_tier in self._local_devices.values():
+            for device in per_tier.values():
+                device.set_concurrency(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster nodes={list(self.nodes)} shared={list(self._shared_devices)}>"

@@ -1,0 +1,51 @@
+"""The paper's Table III machine configurations.
+
++-------------+---------------------------+--------------------------------+
+| Machine     | Compute, memory           | Storage options                |
++=============+===========================+================================+
+| CPU cluster | 2x Xeon Silver 4114,      | NFS (default); NVMe SSD (node);|
+|             | 48 GB RAM                 | SATA SSD (node); HDD (node)    |
++-------------+---------------------------+--------------------------------+
+| GPU cluster | 2x AMD EPYC, RTX 2080 Ti, | NFS (default); BeeGFS (with    |
+|             | 384 GB RAM                | caching); SSD (node)           |
++-------------+---------------------------+--------------------------------+
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster, Node
+from repro.simclock import SimClock
+
+__all__ = ["cpu_cluster", "gpu_cluster"]
+
+
+def cpu_cluster(clock: SimClock, n_nodes: int = 2) -> Cluster:
+    """The CPU cluster: 2× Xeon Silver 4114 (20 cores), 48 GB RAM per node;
+    NFS shared (default), with node-local NVMe, SATA SSD, and HDD."""
+    nodes = [
+        Node(
+            name=f"n{i}",
+            cpus=20,
+            ram_bytes=48 * (1 << 30),
+            local_tiers={"nvme": "nvme", "ssd": "sata_ssd", "hdd": "hdd"},
+        )
+        for i in range(n_nodes)
+    ]
+    return Cluster(clock, nodes, shared_mounts={"/nfs": "nfs"})
+
+
+def gpu_cluster(clock: SimClock, n_nodes: int = 2) -> Cluster:
+    """The GPU cluster: 2× AMD EPYC + RTX 2080 Ti, 384 GB RAM per node;
+    NFS shared (default) and BeeGFS parallel FS, with node-local SSD."""
+    nodes = [
+        Node(
+            name=f"n{i}",
+            cpus=32,
+            ram_bytes=384 * (1 << 30),
+            local_tiers={"ssd": "nvme"},
+        )
+        for i in range(n_nodes)
+    ]
+    return Cluster(
+        clock, nodes, shared_mounts={"/nfs": "nfs", "/beegfs": "beegfs"}
+    )

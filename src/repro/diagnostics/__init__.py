@@ -1,0 +1,46 @@
+"""Data Flow Diagnostics — DaYu core component #3 (paper Section VI).
+
+Turns profiles and workflow graphs into actionable *insights*: the
+observations the paper derives from its three case studies (data reuse,
+time-dependent inputs, disposable data, data scattering, partial file
+access, metadata overhead, read-only sequential access, task independence),
+each tied to the optimization guideline that addresses it.
+
+Entry point: :func:`~repro.diagnostics.report.diagnose` runs every detector
+and returns a :class:`~repro.diagnostics.report.DiagnosticReport`.
+"""
+
+from repro.diagnostics.advisor import AdvisorReport, Finding, Severity, advise
+from repro.diagnostics.insights import Insight, InsightKind
+from repro.diagnostics.detectors import (
+    detect_data_reuse,
+    detect_data_scattering,
+    detect_disposable_data,
+    detect_metadata_overhead,
+    detect_partial_file_access,
+    detect_readonly_sequential,
+    detect_task_independence,
+    detect_time_dependent_inputs,
+    detect_vlen_layout,
+)
+from repro.diagnostics.report import DiagnosticReport, diagnose
+
+__all__ = [
+    "Insight",
+    "InsightKind",
+    "Severity",
+    "Finding",
+    "AdvisorReport",
+    "advise",
+    "DiagnosticReport",
+    "diagnose",
+    "detect_data_reuse",
+    "detect_time_dependent_inputs",
+    "detect_disposable_data",
+    "detect_data_scattering",
+    "detect_partial_file_access",
+    "detect_metadata_overhead",
+    "detect_readonly_sequential",
+    "detect_task_independence",
+    "detect_vlen_layout",
+]

@@ -1,0 +1,149 @@
+"""Drishti-style advisory reports.
+
+The paper plans integration "with tools like Drishti for performance
+analysis and optimization recommendations".  Drishti triages findings into
+severity levels and prints an operator-facing report; this module provides
+the equivalent over DaYu's insights:
+
+- each insight gets a :class:`Severity` from kind-specific triage rules
+  (e.g. hundreds of sub-500-byte datasets is *critical*; a single reused
+  file is *informational*);
+- :func:`advise` produces an :class:`AdvisorReport` whose :meth:`render`
+  emits the triaged sections with their recommended actions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.diagnostics.insights import Insight, InsightKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guidelines.engine import Recommendation
+
+__all__ = ["Severity", "Finding", "AdvisorReport", "advise"]
+
+
+class Severity(enum.IntEnum):
+    """Triage levels, highest first when sorting."""
+
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+    @property
+    def tag(self) -> str:
+        return {
+            Severity.CRITICAL: "CRITICAL",
+            Severity.WARNING: "WARNING ",
+            Severity.INFO: "INFO    ",
+        }[self]
+
+
+def _triage(insight: Insight) -> Severity:
+    """Kind- and evidence-aware severity rules."""
+    e = insight.evidence
+    kind = insight.kind
+    if kind is InsightKind.DATA_SCATTERING:
+        datasets = int(e.get("datasets", 0))
+        if datasets >= 32:
+            return Severity.CRITICAL
+        return Severity.WARNING
+    if kind is InsightKind.METADATA_OVERHEAD:
+        frac = float(e.get("metadata_fraction", 0.0))
+        return Severity.CRITICAL if frac >= 0.5 else Severity.WARNING
+    if kind is InsightKind.VLEN_LAYOUT:
+        return Severity.WARNING
+    if kind is InsightKind.PARTIAL_FILE_ACCESS:
+        return Severity.WARNING
+    if kind is InsightKind.DATA_REUSE:
+        consumers = int(e.get("consumers", 0))
+        return Severity.WARNING if consumers >= 4 else Severity.INFO
+    if kind is InsightKind.READONLY_SEQUENTIAL:
+        files = int(e.get("files", 0))
+        return Severity.WARNING if files >= 8 else Severity.INFO
+    if kind in (InsightKind.WRITE_AFTER_READ, InsightKind.READ_AFTER_WRITE,
+                InsightKind.TIME_DEPENDENT_INPUT, InsightKind.DISPOSABLE_DATA,
+                InsightKind.TASK_INDEPENDENCE):
+        return Severity.INFO
+    return Severity.INFO  # pragma: no cover - future kinds
+
+
+@dataclass
+class Finding:
+    """One triaged insight."""
+
+    severity: Severity
+    insight: Insight
+
+    def line(self) -> str:
+        return (f"[{self.severity.tag}] {self.insight.kind.value}: "
+                f"{self.insight.description}")
+
+
+@dataclass
+class AdvisorReport:
+    """Triaged findings plus the recommendations that address them."""
+
+    findings: List[Finding] = field(default_factory=list)
+    recommendations: List["Recommendation"] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.name: 0 for s in Severity}
+        for f in self.findings:
+            out[f.severity.name] += 1
+        return out
+
+    def at_least(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    def render(self, width: int = 78) -> str:
+        """Operator-facing text report (Drishti-style)."""
+        bar = "=" * width
+        counts = self.counts()
+        lines = [
+            bar,
+            "DaYu I/O Advisor".center(width),
+            bar,
+            (f" {counts['CRITICAL']} critical | {counts['WARNING']} warnings "
+             f"| {counts['INFO']} informational"),
+            "",
+        ]
+        for severity in (Severity.CRITICAL, Severity.WARNING, Severity.INFO):
+            section = [f for f in self.findings if f.severity == severity]
+            if not section:
+                continue
+            lines.append(f"--- {severity.name} ({len(section)}) " + "-" * max(
+                width - len(severity.name) - 10, 0))
+            for f in section:
+                lines.append("  " + f.line())
+            lines.append("")
+        if self.recommendations:
+            lines.append("--- RECOMMENDED ACTIONS " + "-" * (width - 24))
+            for rec in self.recommendations:
+                lines.append(f"  * {rec.action.value}: {rec.target}")
+                if rec.rationale:
+                    lines.append(f"      {rec.rationale}")
+        lines.append(bar)
+        return "\n".join(lines)
+
+
+def advise(insights: Sequence[Insight]) -> AdvisorReport:
+    """Triage insights and attach deduplicated recommendations, ordered by
+    severity (most severe first)."""
+    # Imported here: the guidelines engine consumes this package's insight
+    # types, so a module-level import would be circular.
+    from repro.guidelines.engine import recommend
+
+    findings = sorted(
+        (Finding(_triage(i), i) for i in insights),
+        key=lambda f: -int(f.severity),
+    )
+    return AdvisorReport(
+        findings=findings,
+        recommendations=recommend(list(insights)),
+    )

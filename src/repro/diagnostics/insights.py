@@ -1,0 +1,83 @@
+"""Insight records produced by the diagnostic detectors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["InsightKind", "Insight", "GUIDELINE_FOR"]
+
+
+class InsightKind(str, enum.Enum):
+    """The observation categories of the paper's Section VI case studies."""
+
+    DATA_REUSE = "data_reuse"
+    WRITE_AFTER_READ = "write_after_read"
+    READ_AFTER_WRITE = "read_after_write"
+    TIME_DEPENDENT_INPUT = "time_dependent_input"
+    DISPOSABLE_DATA = "disposable_data"
+    DATA_SCATTERING = "data_scattering"
+    PARTIAL_FILE_ACCESS = "partial_file_access"
+    METADATA_OVERHEAD = "metadata_overhead"
+    READONLY_SEQUENTIAL = "readonly_sequential"
+    TASK_INDEPENDENCE = "task_independence"
+    VLEN_LAYOUT = "vlen_layout"
+
+
+#: Which Section III-A optimization guideline addresses each insight.
+GUIDELINE_FOR: Dict[InsightKind, str] = {
+    InsightKind.DATA_REUSE: "customized_caching",
+    InsightKind.WRITE_AFTER_READ: "customized_caching",
+    InsightKind.READ_AFTER_WRITE: "customized_caching",
+    InsightKind.TIME_DEPENDENT_INPUT: "customized_prefetching",
+    InsightKind.DISPOSABLE_DATA: "data_stage_out",
+    InsightKind.DATA_SCATTERING: "data_format_optimization",
+    InsightKind.PARTIAL_FILE_ACCESS: "partial_file_access",
+    InsightKind.METADATA_OVERHEAD: "data_format_optimization",
+    InsightKind.READONLY_SEQUENTIAL: "customized_prefetching",
+    InsightKind.TASK_INDEPENDENCE: "task_parallelization",
+    InsightKind.VLEN_LAYOUT: "data_format_optimization",
+}
+
+
+@dataclass
+class Insight:
+    """One diagnostic finding.
+
+    Attributes:
+        kind: The observation category.
+        subject: What the finding is about (a file path, dataset name, or
+            task pair).
+        tasks: Tasks involved.
+        evidence: Detector-specific supporting numbers.
+        description: Human-readable explanation.
+    """
+
+    kind: InsightKind
+    subject: str
+    tasks: List[str] = field(default_factory=list)
+    evidence: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def guideline(self) -> str:
+        """The optimization guideline that addresses this insight."""
+        return GUIDELINE_FOR[self.kind]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "subject": self.subject,
+            "tasks": self.tasks,
+            "evidence": self.evidence,
+            "description": self.description,
+            "guideline": self.guideline,
+        }
+
+    def __str__(self) -> str:
+        tasks = ", ".join(self.tasks) if self.tasks else "-"
+        return (
+            f"[{self.kind.value}] {self.subject} (tasks: {tasks}) — "
+            f"{self.description} → guideline: {self.guideline}"
+        )

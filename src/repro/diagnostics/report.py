@@ -1,0 +1,103 @@
+"""The diagnostic report: running every detector and summarizing findings."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.diagnostics.detectors import (
+    detect_data_reuse,
+    detect_data_scattering,
+    detect_disposable_data,
+    detect_metadata_overhead,
+    detect_partial_file_access,
+    detect_readonly_sequential,
+    detect_task_independence,
+    detect_time_dependent_inputs,
+    detect_vlen_layout,
+)
+from repro.diagnostics.insights import Insight, InsightKind
+from repro.mapper.mapper import TaskProfile
+
+__all__ = ["DiagnosticReport", "diagnose"]
+
+_ALL_DETECTORS = (
+    detect_data_reuse,
+    detect_time_dependent_inputs,
+    detect_disposable_data,
+    detect_data_scattering,
+    detect_partial_file_access,
+    detect_metadata_overhead,
+    detect_readonly_sequential,
+    detect_task_independence,
+    detect_vlen_layout,
+)
+
+
+@dataclass
+class DiagnosticReport:
+    """All insights found in a workflow's profiles."""
+
+    insights: List[Insight] = field(default_factory=list)
+
+    def by_kind(self, kind: InsightKind) -> List[Insight]:
+        return [i for i in self.insights if i.kind == kind]
+
+    def by_guideline(self) -> Dict[str, List[Insight]]:
+        """Insights grouped by the guideline that addresses them."""
+        grouped: Dict[str, List[Insight]] = {}
+        for insight in self.insights:
+            grouped.setdefault(insight.guideline, []).append(insight)
+        return grouped
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for insight in self.insights:
+            out[insight.kind.value] = out.get(insight.kind.value, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """Human-readable multi-line findings summary."""
+        if not self.insights:
+            return "No dataflow issues detected."
+        lines = [f"DaYu found {len(self.insights)} insight(s):"]
+        for guideline, items in sorted(self.by_guideline().items()):
+            lines.append(f"  guideline: {guideline} ({len(items)})")
+            for insight in items:
+                lines.append(f"    - {insight}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps([i.to_json_dict() for i in self.insights], indent=2)
+
+    def __len__(self) -> int:
+        return len(self.insights)
+
+
+def diagnose(profiles: Sequence[TaskProfile], **thresholds) -> DiagnosticReport:
+    """Run every detector over the workflow's task profiles.
+
+    Keyword thresholds are routed to detectors by parameter name (e.g.
+    ``min_datasets=16`` tightens the data-scattering detector); unknown
+    names raise immediately.
+    """
+    import inspect
+
+    profiles = list(profiles)
+    known = {
+        name
+        for det in _ALL_DETECTORS
+        for name in inspect.signature(det).parameters
+        if name != "profiles"
+    }
+    unknown = set(thresholds) - known
+    if unknown:
+        raise TypeError(f"unknown diagnose() thresholds: {sorted(unknown)}")
+
+    insights: List[Insight] = []
+    for detector in _ALL_DETECTORS:
+        params = inspect.signature(detector).parameters
+        kwargs = {k: v for k, v in thresholds.items() if k in params}
+        insights.extend(detector(profiles, **kwargs))
+    return DiagnosticReport(insights=insights)

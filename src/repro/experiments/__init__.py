@@ -1,0 +1,38 @@
+"""Experiment harnesses: one module per table/figure of the paper's
+evaluation.
+
+Each module exposes a ``run_*`` function returning a structured result
+(rows of the same series the paper plots) plus a ``to_markdown`` rendering
+used to regenerate ``EXPERIMENTS.md``.  The benchmark suite under
+``benchmarks/`` is a thin pytest-benchmark wrapper over these functions.
+
+Index (paper → module):
+
+- Figure 3 / 4 / 5 / 6 / 7 / 8 (FTG/SDG renderings) →
+  :mod:`repro.experiments.graphs`
+- Figure 9a-d (Data Semantic Mapper overhead) →
+  :mod:`repro.experiments.fig9_overhead`
+- Figure 10a-b (component breakdown) →
+  :mod:`repro.experiments.fig10_breakdown`
+- Figure 11 (PyFLEXTRKR stages 3-5 placement) →
+  :mod:`repro.experiments.fig11_placement`
+- Figure 12 (DDMD placement, 5 iterations) →
+  :mod:`repro.experiments.fig12_ddmd`
+- Figure 13a (consolidation) → :mod:`repro.experiments.fig13a_consolidation`
+- Figure 13b (chunked vs contiguous) → :mod:`repro.experiments.fig13b_layout`
+- Figure 13c (ARLDM VL layout) → :mod:`repro.experiments.fig13c_arldm`
+- §VII-B Analyzer scalability → :mod:`repro.experiments.analyzer_scale`
+- Table III → :mod:`repro.cluster.configs`
+"""
+
+__all__ = [
+    "fig9_overhead",
+    "fig10_breakdown",
+    "fig11_placement",
+    "fig12_ddmd",
+    "fig13a_consolidation",
+    "fig13b_layout",
+    "fig13c_arldm",
+    "analyzer_scale",
+    "graphs",
+]

@@ -1,0 +1,74 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.configs import gpu_cluster
+from repro.mapper.config import DaYuConfig
+from repro.mapper.mapper import DataSemanticMapper
+from repro.simclock import SimClock
+from repro.workflow.runner import WorkflowRunner
+from repro.workflow.scheduler import Scheduler
+
+__all__ = ["Env", "fresh_env", "ResultTable"]
+
+
+@dataclass
+class Env:
+    """One isolated simulation environment."""
+
+    clock: SimClock
+    cluster: Cluster
+    mapper: DataSemanticMapper
+    runner: WorkflowRunner
+
+
+def fresh_env(
+    n_nodes: int = 2,
+    scheduler: Optional[Scheduler] = None,
+    config: Optional[DaYuConfig] = None,
+) -> Env:
+    """A fresh GPU-cluster environment (BeeGFS shared + node-local SSD)."""
+    clock = SimClock()
+    cluster = gpu_cluster(clock, n_nodes=n_nodes)
+    mapper = DataSemanticMapper(clock, config or DaYuConfig())
+    runner = WorkflowRunner(cluster, mapper, scheduler)
+    return Env(clock=clock, cluster=cluster, mapper=mapper, runner=runner)
+
+
+@dataclass
+class ResultTable:
+    """A labelled table of experiment rows, renderable as Markdown."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns: {sorted(missing)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        return [r[name] for r in self.rows]
+
+    def to_markdown(self) -> str:
+        def fmt(v: object) -> str:
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(row[c]) for c in self.columns) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Figure 10: breakdown of DaYu's own execution time by component.
+
+Two scenarios:
+
+- **10a** — h5bench at the sweep's largest configuration: DaYu costs a few
+  tens of milliseconds (a vanishing fraction of the run), dominated by the
+  Characteristic Mapper.
+- **10b** — the corner-case benchmark: total overhead of a few percent,
+  dominated by the Access Tracker (VFD share > VOL share), exactly the
+  regime the paper attributes to frequent object open/close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.common import ResultTable, fresh_env
+from repro.mapper.config import DaYuConfig
+from repro.mapper.overhead import OverheadReport, overhead_report
+from repro.workloads.corner_case import CornerCaseParams, build_corner_case
+from repro.workloads.h5bench import H5benchParams, build_h5bench_write
+
+__all__ = ["run_fig10a_h5bench", "run_fig10b_corner_case", "BreakdownResult"]
+
+MIB = 1 << 20
+
+
+@dataclass
+class BreakdownResult:
+    """Component shares plus headline numbers for one scenario."""
+
+    scenario: str
+    report: OverheadReport
+
+    @property
+    def shares(self) -> Dict[str, float]:
+        return self.report.component_shares()
+
+    @property
+    def dayu_ms(self) -> float:
+        return self.report.dayu_time * 1e3
+
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            title=f"Figure 10 — DaYu time breakdown ({self.scenario})",
+            columns=["component", "share_percent"],
+            notes=[
+                f"DaYu total: {self.dayu_ms:.2f} ms "
+                f"({self.report.total_percent:.3f}% of execution); "
+                f"VFD {self.report.vfd_percent:.3f}% / "
+                f"VOL {self.report.vol_percent:.3f}%."
+            ],
+        )
+        for component, share in self.shares.items():
+            table.add(component=component, share_percent=100.0 * share)
+        return table
+
+
+def run_fig10a_h5bench(
+    total_mib: int = 80, n_procs: int = 8
+) -> BreakdownResult:
+    """H5bench breakdown (paper: 80 GB, 64 processes → 38.83 ms, 0.008%,
+    Characteristic-Mapper-dominated)."""
+    env = fresh_env(n_nodes=2, config=DaYuConfig.parse({}, clock=None))
+    # Charge the Input Parser explicitly (one config parse per run).
+    DaYuConfig.parse({}, env.clock)
+    params = H5benchParams(
+        data_dir="/beegfs/h5bench",
+        n_procs=n_procs,
+        bytes_per_proc=max(total_mib * MIB // n_procs, 1 << 12),
+        ops_per_proc=8,
+    )
+    env.runner.run(build_h5bench_write(params))
+    return BreakdownResult("h5bench", overhead_report(env.clock))
+
+
+def run_fig10b_corner_case(
+    file_mib: int = 50, read_repeats: int = 40
+) -> BreakdownResult:
+    """Corner-case breakdown (paper: 813.74 ms, ~4% total = 2.97% VFD +
+    1.0% VOL, Access-Tracker-dominated)."""
+    env = fresh_env(n_nodes=1)
+    DaYuConfig.parse({}, env.clock)
+    params = CornerCaseParams(
+        data_dir="/beegfs/corner",
+        n_datasets=200,
+        file_bytes=file_mib * MIB,
+        read_repeats=read_repeats,
+    )
+    env.runner.run(build_corner_case(params))
+    return BreakdownResult("corner-case", overhead_report(env.clock))

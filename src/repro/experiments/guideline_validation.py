@@ -1,0 +1,156 @@
+"""Empirical validation of the Section III-A.4 layout guidelines.
+
+The paper states its data-format rules as givens (small fixed → contiguous;
+large fixed → contiguous for sequential, chunked for random/parallel
+access; variable-length → chunked).  This experiment *measures* every cell
+of that decision table on the simulated stack and checks that
+:func:`~repro.guidelines.layout.advise_layout` picks the empirically
+cheaper layout in each regime — i.e. that the guidelines are consistent
+with the very I/O behaviour DaYu observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ResultTable
+from repro.guidelines.layout import AccessPattern, advise_layout
+from repro.hdf5 import H5File, Selection
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+__all__ = ["GuidelineValidationParams", "run_guideline_validation"]
+
+KIB = 1024
+MIB = 1 << 20
+
+
+@dataclass(frozen=True)
+class GuidelineValidationParams:
+    """Scales for the decision-table sweep.
+
+    "Small" must sit below the advisor's 1 MiB threshold and "large" above
+    it.  Random access reads ``random_accesses`` scattered blocks of
+    ``random_block`` elements.
+    """
+
+    small_elems: int = 8 * KIB        # 64 KiB of f8 — "small"
+    large_elems: int = 4 * MIB // 2   # 16 MiB of f8 — "large"
+    chunk_fraction: int = 16          # chunk = n / 16
+    random_accesses: int = 24
+    random_block: int = 512
+    vlen_items: int = 24
+    vlen_avg_bytes: int = 32 * KIB
+    device: str = "beegfs"
+
+
+def _fixed_io_time(p, n_elems: int, layout: str,
+                   access: AccessPattern) -> float:
+    fs = SimFS(SimClock(), mounts=[Mount("/", make_device(p.device))])
+    if access is AccessPattern.SEQUENTIAL:
+        # 1-D scan: the regime where contiguous shines.
+        kwargs = ({"layout": "chunked",
+                   "chunks": (max(n_elems // p.chunk_fraction, 1),)}
+                  if layout == "chunked" else {"layout": "contiguous"})
+        with H5File(fs, "/v.h5", "w") as f:
+            f.create_dataset("d", shape=(n_elems,), dtype="f8",
+                             data=np.zeros(n_elems), **kwargs)
+        fs.clear_log()
+        with H5File(fs, "/v.h5", "r") as f:
+            f["d"].read()
+        return fs.io_time()
+
+    # Non-sequential access: column blocks of a 2-D row-major dataset.
+    # Contiguous storage scatters a column over one tiny run per row;
+    # chunking coalesces it into a few chunk reads — the case the
+    # guideline's "random or parallel access" clause is about.
+    rows = 1 << 10
+    cols = max(n_elems // rows, 1)
+    kwargs = ({"layout": "chunked",
+               "chunks": (max(rows // 8, 1), max(cols // 8, 1))}
+              if layout == "chunked" else {"layout": "contiguous"})
+    with H5File(fs, "/v.h5", "w") as f:
+        f.create_dataset("d", shape=(rows, cols), dtype="f8",
+                         data=np.zeros((rows, cols)), **kwargs)
+    fs.clear_log()
+    with H5File(fs, "/v.h5", "r") as f:
+        d = f["d"]
+        rng = np.random.default_rng(7)
+        width = 8
+        for _ in range(p.random_accesses):
+            col = int(rng.integers(0, cols - width))
+            d.read(Selection.hyperslab(((0, rows), (col, width))))
+    return fs.io_time()
+
+
+def _vlen_write_time(p, layout: str) -> float:
+    fs = SimFS(SimClock(), mounts=[Mount("/", make_device(p.device))])
+    rng = np.random.default_rng(5)
+    items = [b"x" * int(s) for s in rng.integers(
+        p.vlen_avg_bytes // 2, p.vlen_avg_bytes * 3 // 2, p.vlen_items)]
+    kwargs = ({"layout": "chunked", "chunks": (max(p.vlen_items // 5, 1),)}
+              if layout == "chunked" else {"layout": "contiguous"})
+    start = fs.clock.now
+    with H5File(fs, "/v.h5", "w", heap_data_capacity=p.vlen_avg_bytes // 2) as f:
+        f.create_dataset("v", shape=(len(items),), dtype="vlen-bytes",
+                         data=items, **kwargs)
+    return fs.clock.now - start
+
+
+def run_guideline_validation(
+    params: GuidelineValidationParams = GuidelineValidationParams(),
+) -> ResultTable:
+    """Measure every decision-table cell; flag advisor agreement."""
+    p = params
+    table = ResultTable(
+        title="Section III-A.4 guideline validation — measured vs. advised",
+        columns=["regime", "contiguous_ms", "chunked_ms",
+                 "measured_best", "advised", "agrees"],
+    )
+
+    regimes: Dict[str, Tuple[float, float, str]] = {}
+
+    # Small fixed, sequential.
+    c = _fixed_io_time(p, p.small_elems, "contiguous", AccessPattern.SEQUENTIAL)
+    k = _fixed_io_time(p, p.small_elems, "chunked", AccessPattern.SEQUENTIAL)
+    regimes["small fixed, sequential"] = (
+        c, k, advise_layout("f8", p.small_elems, AccessPattern.SEQUENTIAL).layout)
+
+    # Large fixed, sequential.
+    c = _fixed_io_time(p, p.large_elems, "contiguous", AccessPattern.SEQUENTIAL)
+    k = _fixed_io_time(p, p.large_elems, "chunked", AccessPattern.SEQUENTIAL)
+    regimes["large fixed, sequential"] = (
+        c, k, advise_layout("f8", p.large_elems, AccessPattern.SEQUENTIAL).layout)
+
+    # Large fixed, random partial access.
+    c = _fixed_io_time(p, p.large_elems, "contiguous", AccessPattern.RANDOM)
+    k = _fixed_io_time(p, p.large_elems, "chunked", AccessPattern.RANDOM)
+    regimes["large fixed, random"] = (
+        c, k, advise_layout("f8", p.large_elems, AccessPattern.RANDOM).layout)
+
+    # Variable-length write.
+    c = _vlen_write_time(p, "contiguous")
+    k = _vlen_write_time(p, "chunked")
+    regimes["variable-length"] = (
+        c, k, advise_layout("vlen-bytes", p.vlen_items).layout)
+
+    for regime, (contig, chunked, advised) in regimes.items():
+        measured_best = "contiguous" if contig <= chunked else "chunked"
+        table.add(
+            regime=regime,
+            contiguous_ms=contig * 1e3,
+            chunked_ms=chunked * 1e3,
+            measured_best=measured_best,
+            advised=advised,
+            agrees=measured_best == advised,
+        )
+    agreements = sum(1 for r in table.rows if r["agrees"])
+    table.notes.append(
+        f"Advisor agrees with the measurement in {agreements}/{len(table.rows)} "
+        "regimes."
+    )
+    return table

@@ -1,0 +1,23 @@
+"""DaYu's optimization guidelines (paper Section III-A).
+
+The paper pairs its diagnostic insights with four guideline families —
+customized caching, partial file access, customized prefetching, and data
+format optimization — plus the scheduling moves its evaluation applies
+(co-scheduling, stage-out, parallelization).  This package encodes them:
+
+- :func:`~repro.guidelines.layout.advise_layout` — the Section III-A.4
+  data-layout decision rules.
+- :func:`~repro.guidelines.engine.recommend` — map a diagnostic report to
+  concrete :class:`~repro.guidelines.engine.Recommendation` actions.
+"""
+
+from repro.guidelines.engine import Action, Recommendation, recommend
+from repro.guidelines.layout import AccessPattern, advise_layout
+
+__all__ = [
+    "Action",
+    "Recommendation",
+    "recommend",
+    "AccessPattern",
+    "advise_layout",
+]

@@ -1,0 +1,101 @@
+"""The recommendation engine: diagnostic insights → concrete actions.
+
+Every insight carries the *name* of the guideline addressing it; this
+module turns each into an executable :class:`Recommendation` — the action
+vocabulary the paper's evaluation applies (cache, prefetch, rolling
+stage-in, stage-out, consolidate, convert layout, co-schedule,
+parallelize, skip-unused).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.diagnostics.insights import Insight, InsightKind
+
+__all__ = ["Action", "Recommendation", "recommend"]
+
+
+class Action(str, enum.Enum):
+    """Concrete optimization moves DaYu can suggest."""
+
+    CACHE_IN_FAST_TIER = "cache_in_fast_tier"
+    PREFETCH_BEFORE_USE = "prefetch_before_use"
+    ROLLING_STAGE_IN = "rolling_stage_in"
+    STAGE_OUT = "stage_out"
+    CONSOLIDATE_DATASETS = "consolidate_datasets"
+    CONVERT_TO_CONTIGUOUS = "convert_to_contiguous"
+    CONVERT_TO_CHUNKED = "convert_to_chunked"
+    SKIP_UNUSED_DATA = "skip_unused_data"
+    CO_SCHEDULE = "co_schedule"
+    PARALLELIZE = "parallelize"
+
+
+#: Which action each insight kind maps to.
+_ACTION_FOR: Dict[InsightKind, Action] = {
+    InsightKind.DATA_REUSE: Action.CACHE_IN_FAST_TIER,
+    InsightKind.WRITE_AFTER_READ: Action.CACHE_IN_FAST_TIER,
+    InsightKind.READ_AFTER_WRITE: Action.CACHE_IN_FAST_TIER,
+    InsightKind.TIME_DEPENDENT_INPUT: Action.PREFETCH_BEFORE_USE,
+    InsightKind.DISPOSABLE_DATA: Action.STAGE_OUT,
+    InsightKind.DATA_SCATTERING: Action.CONSOLIDATE_DATASETS,
+    InsightKind.PARTIAL_FILE_ACCESS: Action.SKIP_UNUSED_DATA,
+    InsightKind.METADATA_OVERHEAD: Action.CONVERT_TO_CONTIGUOUS,
+    InsightKind.READONLY_SEQUENTIAL: Action.ROLLING_STAGE_IN,
+    InsightKind.TASK_INDEPENDENCE: Action.PARALLELIZE,
+    InsightKind.VLEN_LAYOUT: Action.CONVERT_TO_CHUNKED,
+}
+
+
+@dataclass
+class Recommendation:
+    """One actionable optimization derived from an insight."""
+
+    action: Action
+    target: str
+    tasks: List[str] = field(default_factory=list)
+    rationale: str = ""
+    insight_kind: InsightKind | None = None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "action": self.action.value,
+            "target": self.target,
+            "tasks": self.tasks,
+            "rationale": self.rationale,
+            "insight_kind": self.insight_kind.value if self.insight_kind else None,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.action.value}({self.target}) — {self.rationale}"
+
+
+def recommend(insights: Sequence[Insight]) -> List[Recommendation]:
+    """Translate insights into deduplicated, ordered recommendations.
+
+    Recommendations are deduplicated by (action, target) — many insights
+    can point at the same fix — and ordered by how many insights support
+    each, strongest first.
+    """
+    merged: Dict[tuple, Recommendation] = {}
+    support: Dict[tuple, int] = {}
+    for insight in insights:
+        action = _ACTION_FOR[insight.kind]
+        key = (action, insight.subject)
+        if key not in merged:
+            merged[key] = Recommendation(
+                action=action,
+                target=insight.subject,
+                tasks=list(insight.tasks),
+                rationale=insight.description,
+                insight_kind=insight.kind,
+            )
+            support[key] = 0
+        else:
+            for t in insight.tasks:
+                if t not in merged[key].tasks:
+                    merged[key].tasks.append(t)
+        support[key] += 1
+    return sorted(merged.values(), key=lambda r: -support[(r.action, r.target)])

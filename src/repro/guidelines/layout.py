@@ -1,0 +1,103 @@
+"""The HDF5 data-format optimization rules (paper Section III-A.4).
+
+Verbatim decision table:
+
+- *Small, fixed-length data*: contiguous — the whole dataset moves in one
+  I/O operation.
+- *Large, fixed-length data*: contiguous when access is sequential;
+  chunked when access is random or parallel.
+- *Variable-length data*: chunked at any size — the chunk metadata indexes
+  the variable-length records, enabling efficient random file access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hdf5.datatype import Datatype
+
+__all__ = ["AccessPattern", "LayoutAdvice", "advise_layout", "SMALL_DATA_BYTES"]
+
+#: Below this size a fixed-length dataset counts as "small" — one I/O op
+#: moves it all, so contiguous always wins.
+SMALL_DATA_BYTES = 1 << 20  # 1 MiB
+
+
+class AccessPattern(str, enum.Enum):
+    """How tasks access the dataset, from DaYu's profiles."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    PARALLEL = "parallel"
+
+
+@dataclass(frozen=True)
+class LayoutAdvice:
+    """A layout recommendation with its rationale."""
+
+    layout: str  # "contiguous" | "chunked"
+    chunk_elements: int | None
+    rationale: str
+
+
+def advise_layout(
+    dtype: "Datatype | str",
+    total_elements: int,
+    access: AccessPattern = AccessPattern.SEQUENTIAL,
+    target_chunks: int = 10,
+) -> LayoutAdvice:
+    """Recommend a storage layout per the Section III-A.4 guidelines.
+
+    Args:
+        dtype: The dataset's element type.
+        total_elements: Number of elements in the dataset.
+        access: Dominant access pattern observed by DaYu.
+        target_chunks: When chunking, aim for about this many chunks.
+
+    Returns:
+        A :class:`LayoutAdvice` with the chosen layout, a suggested chunk
+        size (elements) when chunked, and the guideline rationale.
+    """
+    if total_elements < 0:
+        raise ValueError("total_elements must be non-negative")
+    dt = Datatype.of(dtype)
+    chunk = max(1, total_elements // max(target_chunks, 1))
+
+    if dt.is_vlen:
+        return LayoutAdvice(
+            layout="chunked",
+            chunk_elements=chunk,
+            rationale=(
+                "variable-length data: chunked layout at any size leverages "
+                "chunk metadata to index records for efficient random access"
+            ),
+        )
+
+    nbytes = total_elements * dt.itemsize
+    if nbytes <= SMALL_DATA_BYTES:
+        return LayoutAdvice(
+            layout="contiguous",
+            chunk_elements=None,
+            rationale=(
+                "small fixed-length data: contiguous layout reads the whole "
+                "dataset in a single I/O operation"
+            ),
+        )
+    if access is AccessPattern.SEQUENTIAL:
+        return LayoutAdvice(
+            layout="contiguous",
+            chunk_elements=None,
+            rationale=(
+                "large fixed-length data with sequential access: contiguous "
+                "layout optimizes for the sequential scan"
+            ),
+        )
+    return LayoutAdvice(
+        layout="chunked",
+        chunk_elements=chunk,
+        rationale=(
+            f"large fixed-length data with {access.value} access: chunked "
+            "layout enables partial and parallel access"
+        ),
+    )

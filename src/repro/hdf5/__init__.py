@@ -1,0 +1,60 @@
+"""A from-scratch HDF5-like self-describing data format.
+
+The paper's subject is the *dual translation* descriptive formats perform:
+logical datasets → file addresses → low-level I/O.  To study it we need a
+format whose internals we control, so this package implements an
+HDF5-inspired container from first principles:
+
+- a superblock anchoring the file (:mod:`repro.hdf5.format`);
+- object headers carrying typed messages — dataspace, datatype, layout,
+  attributes, links (:mod:`repro.hdf5.oheader`);
+- three dataset storage layouts — compact, contiguous, chunked
+  (:mod:`repro.hdf5.layout`, :mod:`repro.hdf5.dataset`);
+- a B-tree chunk index (:mod:`repro.hdf5.btree`);
+- a global heap for variable-length data (:mod:`repro.hdf5.heap`);
+- a free-space manager whose allocation decisions are the *source* of the
+  fragmentation the paper visualizes (:mod:`repro.hdf5.freespace`);
+- a metadata cache (:mod:`repro.hdf5.meta_cache`).
+
+All I/O flows through a :class:`~repro.vfd.base.VirtualFileDriver`, with
+every operation classified metadata vs. raw — the hooks DaYu's profilers
+attach to.
+
+The public API mirrors h5py::
+
+    f = H5File(fs, "/pfs/data.h5", "w")
+    d = f.create_dataset("grp/temps", shape=(1024,), dtype="f8",
+                         layout="chunked", chunks=(256,))
+    d.write(np.arange(1024.0))
+    part = d.read(Selection.hyperslab(((128, 512),)))
+    f.close()
+"""
+
+from repro.hdf5.dataset import Dataset
+from repro.hdf5.dataspace import Dataspace, Selection
+from repro.hdf5.datatype import Datatype
+from repro.hdf5.errors import (
+    H5Error,
+    H5FormatError,
+    H5LayoutError,
+    H5NameError,
+    H5StateError,
+    H5TypeError,
+)
+from repro.hdf5.file import H5File
+from repro.hdf5.group import Group
+
+__all__ = [
+    "H5File",
+    "Group",
+    "Dataset",
+    "Dataspace",
+    "Selection",
+    "Datatype",
+    "H5Error",
+    "H5FormatError",
+    "H5NameError",
+    "H5TypeError",
+    "H5LayoutError",
+    "H5StateError",
+]

@@ -1,0 +1,138 @@
+"""Attributes: small named values attached to an object header.
+
+Attributes enrich data-object semantics (the "Object Description" the VOL
+profiler records).  Their values are stored *inline* in the owning object
+header — reading or writing an attribute is pure metadata traffic, which is
+why attribute-heavy files skew toward small metadata I/O.
+
+Supported value types: ``int``, ``float``, ``str``, ``bytes``, and 1-D NumPy
+arrays of fixed dtypes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.hdf5.dataspace import Dataspace
+from repro.hdf5.datatype import Datatype
+from repro.hdf5.errors import H5NameError, H5TypeError
+from repro.hdf5.oheader import (
+    Message,
+    MessageType,
+    decode_attribute,
+    encode_attribute,
+)
+
+__all__ = ["AttributeManager"]
+
+
+def _encode_value(value: object) -> Tuple[str, bytes]:
+    """Map a Python value to (dtype_code, payload bytes).
+
+    The payload embeds a dataspace so array shapes round-trip.
+    """
+    if isinstance(value, bool):
+        raise H5TypeError("boolean attributes are not supported")
+    if isinstance(value, (int, np.integer)):
+        return "i8", Dataspace(()).encode() + np.int64(value).tobytes()
+    if isinstance(value, (float, np.floating)):
+        return "f8", Dataspace(()).encode() + np.float64(value).tobytes()
+    if isinstance(value, str):
+        return "vlen-str", Dataspace(()).encode() + value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray)):
+        return "vlen-bytes", Dataspace(()).encode() + bytes(value)
+    if isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            raise H5TypeError("only 1-D array attributes are supported")
+        dt = Datatype.of(value.dtype)
+        return dt.code, Dataspace(value.shape).encode() + np.ascontiguousarray(value).tobytes()
+    if isinstance(value, (list, tuple)):
+        return _encode_value(np.asarray(value))
+    raise H5TypeError(f"unsupported attribute value type {type(value).__name__}")
+
+
+def _decode_value(dtype_code: str, payload: bytes) -> object:
+    space, offset = Dataspace.decode(payload, 0)
+    raw = payload[offset:]
+    if dtype_code == "vlen-str":
+        return raw.decode("utf-8")
+    if dtype_code == "vlen-bytes":
+        return raw
+    dt = Datatype(dtype_code)
+    arr = np.frombuffer(raw, dtype=dt.numpy_dtype)
+    if space.ndim == 0:
+        return arr[0].item() if dt.code.startswith(("i", "u")) else float(arr[0])
+    return arr.reshape(space.shape).copy()
+
+
+class AttributeManager:
+    """Dict-like view over an object's ATTRIBUTE messages.
+
+    Obtained as ``obj.attrs``; mutations mark the owning header dirty so the
+    file flushes it (metadata write) at close.
+    """
+
+    def __init__(self, owner) -> None:
+        # owner is a Dataset or Group exposing ._header and ._touch().
+        self._owner = owner
+
+    def _messages(self) -> List[Message]:
+        return self._owner._header.find_all(MessageType.ATTRIBUTE)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __setitem__(self, name: str, value: object) -> None:
+        dtype_code, payload = _encode_value(value)
+        new_payload = encode_attribute(name, dtype_code, payload)
+        header = self._owner._header
+        for m in self._messages():
+            attr_name, _, _ = decode_attribute(m.payload)
+            if attr_name == name:
+                m.payload = new_payload
+                self._owner._touch()
+                return
+        header.messages.append(Message(MessageType.ATTRIBUTE, new_payload))
+        self._owner._touch()
+
+    def __getitem__(self, name: str) -> object:
+        for m in self._messages():
+            attr_name, dtype_code, data = decode_attribute(m.payload)
+            if attr_name == name:
+                return _decode_value(dtype_code, data)
+        raise H5NameError(f"no attribute named {name!r}")
+
+    def __delitem__(self, name: str) -> None:
+        def is_target(m: Message) -> bool:
+            if m.type != MessageType.ATTRIBUTE:
+                return False
+            attr_name, _, _ = decode_attribute(m.payload)
+            return attr_name == name
+
+        removed = self._owner._header.remove(is_target)
+        if not removed:
+            raise H5NameError(f"no attribute named {name!r}")
+        self._owner._touch()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.keys()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._messages())
+
+    def keys(self) -> List[str]:
+        return [decode_attribute(m.payload)[0] for m in self._messages()]
+
+    def items(self) -> List[Tuple[str, object]]:
+        return [(k, self[k]) for k in self.keys()]
+
+    def get(self, name: str, default: object = None) -> object:
+        try:
+            return self[name]
+        except H5NameError:
+            return default

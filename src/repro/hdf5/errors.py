@@ -1,0 +1,42 @@
+"""Exception hierarchy for the HDF5-like format."""
+
+from __future__ import annotations
+
+__all__ = [
+    "H5Error",
+    "H5FormatError",
+    "H5NameError",
+    "H5TypeError",
+    "H5LayoutError",
+    "H5StateError",
+]
+
+
+class H5Error(Exception):
+    """Base class for all format-layer errors."""
+
+
+class H5FormatError(H5Error):
+    """The on-disk bytes do not match the expected format structures."""
+
+
+class H5NameError(H5Error, KeyError):
+    """A named object does not exist, or a name is already taken.
+
+    Note: ``KeyError.__str__`` quotes its argument, so we keep Exception's.
+    """
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return Exception.__str__(self)
+
+
+class H5TypeError(H5Error, TypeError):
+    """A value's type or dtype is incompatible with the target dataset."""
+
+
+class H5LayoutError(H5Error):
+    """An operation is invalid for the dataset's storage layout."""
+
+
+class H5StateError(H5Error):
+    """An operation was attempted on a closed or invalid object."""

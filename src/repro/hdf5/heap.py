@@ -1,0 +1,226 @@
+"""The global heap: storage for variable-length data elements.
+
+Variable-length (VL) elements do not fit a dataset's fixed-stride raw block,
+so — exactly like HDF5 — each element's bytes live in a *global heap
+collection* and the dataset stores small fixed-size references.  This
+double indirection is the root of the VL fragmentation behaviour the paper
+studies (its Challenge 3 and the ARLDM case).
+
+Two write paths with very different I/O shapes:
+
+- :meth:`GlobalHeap.insert` — one element at a time, each written
+  immediately at its final address.  Contiguous-layout VL datasets use this
+  path, producing one small raw write per element.
+- :meth:`GlobalHeap.insert_batch` — a whole group of elements placed in one
+  collection and written with a single raw operation.  Chunked-layout VL
+  datasets batch per chunk, which is precisely why the paper measures
+  roughly *half* the POSIX writes for chunked VL data.
+
+Each collection keeps an on-disk directory (object index → offset, size);
+directories are metadata, written when the collection seals and read
+(through the metadata cache) when a reference from a previous session is
+dereferenced.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hdf5.errors import H5FormatError
+from repro.hdf5.metaio import MetaIO
+from repro.vfd.base import IoClass
+
+__all__ = ["HeapRef", "GlobalHeap"]
+
+_DIR_SIG = b"GCOL"
+# sig, version, reserved, object count, directory capacity (max objects)
+_DIR_PREFIX = struct.Struct("<4sBBHH")
+
+
+@dataclass(frozen=True)
+class HeapRef:
+    """A 14-byte reference to one heap object: (collection, index, size)."""
+
+    collection_addr: int
+    index: int
+    size: int
+
+    STRUCT = struct.Struct("<QHI")
+
+    def encode(self) -> bytes:
+        return self.STRUCT.pack(self.collection_addr, self.index, self.size)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "HeapRef":
+        addr, index, size = cls.STRUCT.unpack_from(data, offset)
+        return cls(addr, index, size)
+
+    @classmethod
+    def nbytes(cls) -> int:
+        return cls.STRUCT.size
+
+
+class _Collection:
+    """In-memory state of one heap collection being filled."""
+
+    __slots__ = ("addr", "dir_capacity", "data_capacity", "entries", "used")
+
+    def __init__(self, addr: int, dir_capacity: int, data_capacity: int) -> None:
+        self.addr = addr
+        self.dir_capacity = dir_capacity
+        self.data_capacity = data_capacity
+        self.entries: List[Tuple[int, int]] = []  # (data_offset, size)
+        self.used = 0
+
+    def fits(self, size: int) -> bool:
+        return (
+            len(self.entries) < self.dir_capacity
+            and self.used + size <= self.data_capacity
+        )
+
+
+def _dir_size(dir_capacity: int) -> int:
+    """On-disk bytes of a directory with room for ``dir_capacity`` objects."""
+    return _DIR_PREFIX.size + dir_capacity * 8
+
+
+class GlobalHeap:
+    """Manager of all heap collections in one file.
+
+    Args:
+        io: Metadata I/O (directories) and the underlying VFD (object data).
+        dir_entries: Maximum objects per standard collection directory.
+        data_capacity: Data bytes per standard collection; oversized objects
+            get a dedicated collection sized to fit.
+    """
+
+    def __init__(
+        self,
+        io: MetaIO,
+        dir_entries: int = 64,
+        data_capacity: int = 4096,
+    ) -> None:
+        if dir_entries < 1 or data_capacity < 1:
+            raise H5FormatError("heap capacities must be positive")
+        self._io = io
+        self._dir_entries = dir_entries
+        self._data_capacity = data_capacity
+        self._open: _Collection | None = None
+        self._dirty: Dict[int, _Collection] = {}
+        #: Parsed directories: addr -> (entries, dir_capacity).
+        self._known: Dict[int, Tuple[List[Tuple[int, int]], int]] = {}
+
+    # ------------------------------------------------------------------
+    # Collection management
+    # ------------------------------------------------------------------
+    def _new_collection(self, data_capacity: int, dir_capacity: int) -> _Collection:
+        addr = self._io.allocate(_dir_size(dir_capacity) + data_capacity)
+        coll = _Collection(addr, dir_capacity, data_capacity)
+        self._dirty[addr] = coll
+        return coll
+
+    @staticmethod
+    def _data_base(addr: int, dir_capacity: int) -> int:
+        return addr + _dir_size(dir_capacity)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def insert(self, data: bytes) -> HeapRef:
+        """Store one element now; returns its reference.
+
+        Issues one raw write per call — the per-element I/O pattern of
+        contiguous-layout variable-length datasets.
+        """
+        size = len(data)
+        if size > self._data_capacity:
+            coll = self._new_collection(size, 1)
+        else:
+            if self._open is None or not self._open.fits(size):
+                self._open = self._new_collection(
+                    self._data_capacity, self._dir_entries
+                )
+            coll = self._open
+        offset = coll.used
+        coll.entries.append((offset, size))
+        coll.used += size
+        self._io.vfd.write(
+            self._data_base(coll.addr, coll.dir_capacity) + offset, data, IoClass.RAW
+        )
+        return HeapRef(coll.addr, len(coll.entries) - 1, size)
+
+    def insert_batch(self, items: Sequence[bytes]) -> List[HeapRef]:
+        """Store a group of elements in one collection with one raw write.
+
+        The batched path of chunked-layout variable-length datasets.
+        """
+        if not items:
+            return []
+        total = sum(len(d) for d in items)
+        coll = self._new_collection(max(total, 1), len(items))
+        refs: List[HeapRef] = []
+        blob = bytearray()
+        for data in items:
+            coll.entries.append((coll.used, len(data)))
+            coll.used += len(data)
+            refs.append(HeapRef(coll.addr, len(refs), len(data)))
+            blob.extend(data)
+        self._io.vfd.write(
+            self._data_base(coll.addr, coll.dir_capacity), bytes(blob), IoClass.RAW
+        )
+        return refs
+
+    def flush(self) -> None:
+        """Seal every dirty collection by writing its directory (metadata)."""
+        for addr, coll in sorted(self._dirty.items()):
+            header = _DIR_PREFIX.pack(
+                _DIR_SIG, 1, 0, len(coll.entries), coll.dir_capacity
+            )
+            body = b"".join(struct.pack("<II", off, sz) for off, sz in coll.entries)
+            self._io.write(addr, (header + body).ljust(_dir_size(coll.dir_capacity), b"\x00"))
+            self._known[addr] = (list(coll.entries), coll.dir_capacity)
+        self._dirty.clear()
+        self._open = None
+
+    @property
+    def dirty_collections(self) -> int:
+        """Number of collections awaiting a directory flush."""
+        return len(self._dirty)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _directory(self, addr: int) -> Tuple[List[Tuple[int, int]], int]:
+        known = self._known.get(addr)
+        if known is not None:
+            return known
+        coll = self._dirty.get(addr)
+        if coll is not None:
+            return coll.entries, coll.dir_capacity
+        # Cold path: parse the on-disk directory (cached metadata read).
+        prefix = self._io.read(addr, _DIR_PREFIX.size)
+        sig, version, _reserved, count, dir_capacity = _DIR_PREFIX.unpack_from(prefix)
+        if sig != _DIR_SIG:
+            raise H5FormatError(f"bad heap collection signature {sig!r} at {addr}")
+        if version != 1:
+            raise H5FormatError(f"unsupported heap collection version {version}")
+        body = self._io.read(addr + _DIR_PREFIX.size, count * 8)
+        entries = [
+            tuple(struct.unpack_from("<II", body, i * 8)) for i in range(count)
+        ]
+        self._known[addr] = (entries, dir_capacity)
+        return entries, dir_capacity
+
+    def read(self, ref: HeapRef) -> bytes:
+        """Dereference: directory lookup (metadata) + raw read of the bytes."""
+        entries, dir_capacity = self._directory(ref.collection_addr)
+        if not (0 <= ref.index < len(entries)):
+            raise H5FormatError(
+                f"heap reference index {ref.index} outside collection "
+                f"({len(entries)} objects)"
+            )
+        offset, size = entries[ref.index]
+        base = self._data_base(ref.collection_addr, dir_capacity)
+        return self._io.vfd.read(base + offset, size, IoClass.RAW)

@@ -1,0 +1,161 @@
+"""Dataset storage layouts.
+
+The format offers the three layouts HDF5 does, with the I/O consequences
+the paper's Challenge 2 describes:
+
+- **compact** — raw data lives inside the object header itself.  Reads and
+  writes are metadata operations; only sensible for tiny datasets.
+- **contiguous** — one extent of raw data.  A full-dataset access is a
+  single large I/O; partial accesses map to at most one run per selection
+  row.
+- **chunked** — the dataspace is tiled into fixed-shape chunks, each an
+  independently allocated block found through a B-tree index.  Random and
+  partial access touch only the intersecting chunks, at the price of index
+  metadata I/O and per-chunk fragmentation.
+
+This module only defines the layout *descriptors* and their serialization
+(the LAYOUT header message payload); the data-path logic lives in
+:mod:`repro.hdf5.dataset`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.hdf5.errors import H5FormatError, H5LayoutError
+from repro.hdf5.format import UNDEF_ADDR
+
+__all__ = [
+    "CompactLayout",
+    "ContiguousLayout",
+    "ChunkedLayout",
+    "Layout",
+    "encode_layout",
+    "decode_layout",
+]
+
+_COMPACT, _CONTIGUOUS, _CHUNKED = 0, 1, 2
+
+
+@dataclass
+class CompactLayout:
+    """Raw data stored inside the object header."""
+
+    data: bytes = b""
+
+    name = "compact"
+
+
+@dataclass
+class ContiguousLayout:
+    """Raw data in a single extent at ``addr`` (UNDEF until first write)."""
+
+    addr: int = UNDEF_ADDR
+    size: int = 0
+
+    name = "contiguous"
+
+    @property
+    def allocated(self) -> bool:
+        return self.addr != UNDEF_ADDR
+
+
+@dataclass
+class ChunkedLayout:
+    """Dataspace tiled into ``chunk_shape`` blocks indexed by a B-tree.
+
+    Chunked layouts optionally carry a *filter pipeline* (like HDF5's):
+    ``compression="zlib"`` passes every chunk through zlib on the way to
+    disk.  Compressed chunks have data-dependent on-disk sizes, recorded in
+    the B-tree; a rewritten chunk that no longer fits its old allocation
+    must relocate — one more fragmentation mechanism of real files.
+    """
+
+    chunk_shape: Tuple[int, ...]
+    btree_addr: int = UNDEF_ADDR
+    compression: str | None = None
+    compression_level: int = 4
+
+    name = "chunked"
+
+    def __post_init__(self) -> None:
+        if not self.chunk_shape or any(c <= 0 for c in self.chunk_shape):
+            raise H5LayoutError(
+                f"chunk shape must have positive extents, got {self.chunk_shape}"
+            )
+        if self.compression not in (None, "zlib"):
+            raise H5LayoutError(
+                f"unknown compression filter {self.compression!r}"
+            )
+        if not (1 <= self.compression_level <= 9):
+            raise H5LayoutError(
+                f"compression level must be 1-9, got {self.compression_level}"
+            )
+
+    @property
+    def indexed(self) -> bool:
+        return self.btree_addr != UNDEF_ADDR
+
+    def chunk_grid(self, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Number of chunks along each dimension for a dataspace ``shape``."""
+        if len(shape) != len(self.chunk_shape):
+            raise H5LayoutError(
+                f"chunk rank {len(self.chunk_shape)} != dataspace rank {len(shape)}"
+            )
+        return tuple(
+            (dim + c - 1) // c for dim, c in zip(shape, self.chunk_shape)
+        )
+
+
+Layout = Union[CompactLayout, ContiguousLayout, ChunkedLayout]
+
+
+def encode_layout(layout: Layout) -> bytes:
+    """Serialize a layout descriptor to a LAYOUT message payload."""
+    if isinstance(layout, CompactLayout):
+        return struct.pack("<BI", _COMPACT, len(layout.data)) + layout.data
+    if isinstance(layout, ContiguousLayout):
+        return struct.pack("<BQQ", _CONTIGUOUS, layout.addr, layout.size)
+    if isinstance(layout, ChunkedLayout):
+        head = struct.pack("<BB", _CHUNKED, len(layout.chunk_shape))
+        dims = b"".join(struct.pack("<Q", c) for c in layout.chunk_shape)
+        filt = 1 if layout.compression == "zlib" else 0
+        return (head + dims + struct.pack("<Q", layout.btree_addr)
+                + struct.pack("<BB", filt, layout.compression_level))
+    raise H5LayoutError(f"unknown layout object {layout!r}")
+
+
+def decode_layout(payload: bytes) -> Layout:
+    """Parse a LAYOUT message payload back into a descriptor."""
+    if not payload:
+        raise H5FormatError("empty layout message")
+    cls = payload[0]
+    if cls == _COMPACT:
+        (length,) = struct.unpack_from("<I", payload, 1)
+        data = payload[5 : 5 + length]
+        if len(data) != length:
+            raise H5FormatError("compact layout data truncated")
+        return CompactLayout(data)
+    if cls == _CONTIGUOUS:
+        _, addr, size = struct.unpack_from("<BQQ", payload, 0)
+        return ContiguousLayout(addr=addr, size=size)
+    if cls == _CHUNKED:
+        ndim = payload[1]
+        offset = 2
+        dims = []
+        for _ in range(ndim):
+            (d,) = struct.unpack_from("<Q", payload, offset)
+            dims.append(d)
+            offset += 8
+        (btree_addr,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        compression = None
+        level = 4
+        if offset < len(payload):  # filter pipeline fields
+            filt, level = struct.unpack_from("<BB", payload, offset)
+            compression = "zlib" if filt == 1 else None
+        return ChunkedLayout(chunk_shape=tuple(dims), btree_addr=btree_addr,
+                             compression=compression, compression_level=level)
+    raise H5FormatError(f"unknown layout class {cls}")

@@ -1,0 +1,107 @@
+"""Metadata cache.
+
+HDF5 keeps hot format metadata (object headers, B-tree nodes, heap
+collection headers) in an in-memory cache so repeated logical operations do
+not re-read the same blocks.  :class:`MetadataCache` reproduces that:
+read-through with write-through semantics, FIFO eviction bounded by a byte
+budget, and hit/miss counters the overhead experiments inspect.
+
+The cache is keyed by file address.  Writers must invalidate or update the
+cached bytes when a structure moves (the format layer does this when it
+relocates a grown object header).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["MetadataCache"]
+
+
+class MetadataCache:
+    """Byte-budgeted FIFO cache of metadata blocks keyed by file address."""
+
+    def __init__(self, capacity_bytes: int = 2 * 1024 * 1024, enabled: bool = True) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.enabled = enabled
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def read(self, addr: int, nbytes: int, loader: Callable[[], bytes]) -> bytes:
+        """Return the block at ``addr``, loading through ``loader`` on miss.
+
+        ``nbytes`` is advisory: a cached block longer than the request is
+        served truncated; a shorter cached block is treated as a miss (the
+        structure grew on disk).
+        """
+        if not self.enabled:
+            self.misses += 1
+            return loader()
+        cached = self._entries.get(addr)
+        if cached is not None and len(cached) >= nbytes:
+            self.hits += 1
+            return cached[:nbytes] if nbytes else cached
+        self.misses += 1
+        data = loader()
+        self._insert(addr, data)
+        return data
+
+    def peek(self, addr: int) -> Optional[bytes]:
+        """The cached bytes at ``addr`` without counting a hit/miss."""
+        return self._entries.get(addr)
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def put(self, addr: int, data: bytes) -> None:
+        """Install/refresh the block at ``addr`` (write-through companions
+        call this right after writing the bytes to the file)."""
+        if not self.enabled:
+            return
+        self._insert(addr, data)
+
+    def invalidate(self, addr: int) -> None:
+        """Drop the block at ``addr`` (e.g. after the structure relocated)."""
+        old = self._entries.pop(addr, None)
+        if old is not None:
+            self._bytes -= len(old)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def _insert(self, addr: int, data: bytes) -> None:
+        old = self._entries.pop(addr, None)
+        if old is not None:
+            self._bytes -= len(old)
+        if len(data) > self.capacity_bytes:
+            return  # oversized blocks bypass the cache entirely
+        self._entries[addr] = data
+        self._bytes += len(data)
+        while self._bytes > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,49 @@
+"""Metadata block I/O interface shared by the format's index structures.
+
+B-trees, heaps, and object headers all need the same four services: read a
+metadata block (through the metadata cache), write one (write-through),
+allocate file space, and free it.  :class:`MetaIO` bundles those over a VFD,
+a :class:`~repro.hdf5.freespace.FreeSpaceManager`, and a
+:class:`~repro.hdf5.meta_cache.MetadataCache`, classifying every access as
+:attr:`~repro.vfd.base.IoClass.METADATA`.
+"""
+
+from __future__ import annotations
+
+from repro.hdf5.freespace import FreeSpaceManager
+from repro.hdf5.meta_cache import MetadataCache
+from repro.vfd.base import IoClass, VirtualFileDriver
+
+__all__ = ["MetaIO"]
+
+
+class MetaIO:
+    """Cached, metadata-classified block I/O over a VFD."""
+
+    def __init__(
+        self,
+        vfd: VirtualFileDriver,
+        allocator: FreeSpaceManager,
+        cache: MetadataCache,
+    ) -> None:
+        self.vfd = vfd
+        self.allocator = allocator
+        self.cache = cache
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Read a metadata block, served from cache when possible."""
+        return self.cache.read(
+            addr, nbytes, lambda: self.vfd.read(addr, nbytes, IoClass.METADATA)
+        )
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write a metadata block and refresh the cache (write-through)."""
+        self.vfd.write(addr, data, IoClass.METADATA)
+        self.cache.put(addr, data)
+
+    def allocate(self, size: int) -> int:
+        return self.allocator.allocate(size)
+
+    def free(self, addr: int, size: int) -> None:
+        self.cache.invalidate(addr)
+        self.allocator.free(addr, size)

@@ -1,0 +1,227 @@
+"""Per-task orchestration of DaYu's profiling stack.
+
+:class:`DataSemanticMapper` is what a workflow runner (or a user script)
+interacts with: it scopes tasks, hands out instrumented file handles, and
+at each task's end runs the Characteristic Mapper join to produce a
+:class:`TaskProfile` — the self-contained unit of trace data the offline
+Workflow Analyzer consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.mapper.config import DaYuConfig
+from repro.mapper.stats import DatasetIoStats, map_characteristics
+from repro.posix.simfs import SimFS
+from repro.simclock import SimClock, TimeSpan
+from repro.vfd.channel import VolVfdChannel
+from repro.vfd.tracing import FileSession, VfdIoRecord, VfdTracer
+from repro.vol.objects import VolFile
+from repro.vol.tracer import DataObjectProfile, VolTracer
+
+__all__ = ["DataSemanticMapper", "TaskContext", "TaskProfile"]
+
+CHARACTERISTIC_MAPPER_ACCOUNT = "dayu.characteristic_mapper"
+
+
+@dataclass
+class TaskProfile:
+    """Everything DaYu recorded about one task's data interactions."""
+
+    task: str
+    span: TimeSpan
+    files: List[str]
+    object_profiles: List[DataObjectProfile]
+    file_sessions: List[FileSession]
+    io_records: List[VfdIoRecord]
+    dataset_stats: List[DatasetIoStats]
+
+    @property
+    def duration(self) -> float:
+        return self.span.duration
+
+    def stats_for(self, data_object: str) -> List[DatasetIoStats]:
+        """All joined stats rows for a given data object name."""
+        return [s for s in self.dataset_stats if s.data_object == data_object]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "start": self.span.start,
+            "end": self.span.end,
+            "files": self.files,
+            "object_profiles": [p.to_json_dict() for p in self.object_profiles],
+            "file_sessions": [s.to_json_dict() for s in self.file_sessions],
+            "io_records": [r.to_json_dict() for r in self.io_records],
+            "dataset_stats": [s.to_json_dict() for s in self.dataset_stats],
+        }
+
+    def serialize(self) -> bytes:
+        return json.dumps(self.to_json_dict()).encode()
+
+    @property
+    def storage_bytes(self) -> int:
+        """Size of the persisted JSON trace."""
+        return len(self.serialize())
+
+    @property
+    def vfd_binary_bytes(self) -> int:
+        """Compact VFD trace size (per-op records + sessions)."""
+        from repro.vfd.tracing import FileSession, VfdIoRecord
+
+        return (
+            len(self.io_records) * VfdIoRecord.BINARY_SIZE
+            + len(self.file_sessions) * FileSession.BINARY_SIZE
+        )
+
+    @property
+    def vol_binary_bytes(self) -> int:
+        """Compact VOL trace size (per-object profiles)."""
+        from repro.vol.tracer import DataObjectProfile
+
+        return len(self.object_profiles) * DataObjectProfile.BINARY_SIZE
+
+
+class TaskContext:
+    """The live profiling context of one executing task.
+
+    Obtained from :meth:`DataSemanticMapper.task`; provides :meth:`open`
+    to create instrumented file handles.
+    """
+
+    def __init__(self, mapper: "DataSemanticMapper", task: str) -> None:
+        self.mapper = mapper
+        self.task = task
+        self.channel = VolVfdChannel()
+        self.channel.set_task(task)
+        config = mapper.config
+        self.vol = VolTracer(mapper.clock, self.channel, costs=config.vol_costs)
+        self.vfd = VfdTracer(
+            mapper.clock,
+            self.channel,
+            trace_io=config.trace_io,
+            skip_ops=config.skip_ops,
+            costs=config.vfd_costs,
+        )
+        self._open_files: List[VolFile] = []
+
+    def open(self, fs: SimFS, path: str, mode: str = "r", **h5_kwargs) -> VolFile:
+        """Open an instrumented HDF5-like file within this task."""
+        f = VolFile(fs, path, mode, vol=self.vol, vfd_tracer=self.vfd, **h5_kwargs)
+        self._open_files.append(f)
+        return f
+
+    def open_netcdf(self, fs: SimFS, path: str, mode: str = "r"):
+        """Open an instrumented netCDF-like file within this task.
+
+        Both formats feed the same trackers, so a task may freely mix them
+        and the joined profile covers both.
+        """
+        from repro.netcdf.vol import NcVolFile
+
+        f = NcVolFile(fs, path, mode, vol=self.vol, vfd_tracer=self.vfd)
+        self._open_files.append(f)
+        return f
+
+    def close_all(self) -> None:
+        """Close any files the task left open (tasks should close their own)."""
+        for f in self._open_files:
+            f.close()
+
+
+class DataSemanticMapper:
+    """DaYu's runtime component: scopes tasks and produces their profiles.
+
+    Example::
+
+        mapper = DataSemanticMapper(clock, DaYuConfig(page_size=4096))
+        with mapper.task("stage1") as ctx:
+            f = ctx.open(fs, "/pfs/out.h5", "w")
+            f.create_dataset("d", shape=(100,), data=np.zeros(100))
+            f.close()
+        profile = mapper.profiles["stage1"]
+    """
+
+    def __init__(self, clock: SimClock, config: DaYuConfig | None = None) -> None:
+        self.clock = clock
+        self.config = config or DaYuConfig()
+        self.profiles: Dict[str, TaskProfile] = {}
+
+    @contextmanager
+    def task(self, name: str) -> Iterator[TaskContext]:
+        """Scope a task: the launcher informing DaYu of the current task."""
+        if name in self.profiles:
+            raise ValueError(f"task {name!r} already profiled by this mapper")
+        ctx = TaskContext(self, name)
+        start = self.clock.now
+        try:
+            yield ctx
+        finally:
+            ctx.close_all()
+            self.profiles[name] = self._finish(ctx, start)
+
+    def _finish(self, ctx: TaskContext, start: float) -> TaskProfile:
+        # Characteristic Mapper join: group VFD records by data object.
+        records = ctx.vfd.records
+        stats = map_characteristics(records, self.config.page_size)
+        # The join walks every record once; charge its modeled cost.
+        self.clock.charge(
+            CHARACTERISTIC_MAPPER_ACCOUNT,
+            self.config.mapper_cost_per_record * max(len(records), 1),
+        )
+        return TaskProfile(
+            task=ctx.task,
+            span=TimeSpan(start, self.clock.now),
+            files=list(ctx.vol.files_touched),
+            object_profiles=ctx.vol.all_profiles(),
+            file_sessions=list(ctx.vfd.sessions),
+            io_records=list(records),
+            dataset_stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence / accounting
+    # ------------------------------------------------------------------
+    def save(self, fs: SimFS) -> List[str]:
+        """Write each task profile as JSON into ``config.output_dir``.
+
+        Returns the written paths.  This is the "recorded statistics"
+        storage whose footprint the paper's Figure 9d measures.
+        """
+        written = []
+        for name, profile in self.profiles.items():
+            path = f"{self.config.output_dir.rstrip('/')}/{name}.json"
+            fd = fs.open(path, "w")
+            fs.write(fd, profile.serialize())
+            fs.close(fd)
+            written.append(path)
+        return written
+
+    def save_to_host_dir(self, directory: str) -> List[str]:
+        """Write each task profile as JSON into a real (host) directory —
+        the hand-off format the ``dayu-analyze`` CLI consumes."""
+        from pathlib import Path
+
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name, profile in self.profiles.items():
+            path = out / f"{name}.json"
+            path.write_bytes(profile.serialize())
+            written.append(str(path))
+        return written
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total serialized trace bytes across all finished tasks."""
+        return sum(p.storage_bytes for p in self.profiles.values())
+
+    def data_volume(self) -> int:
+        """Total application data bytes moved (for overhead denominators)."""
+        return sum(
+            s.access_volume for p in self.profiles.values() for s in p.dataset_stats
+        )

@@ -1,0 +1,121 @@
+"""Overhead accounting: the quantities of the paper's Figures 9 and 10.
+
+DaYu's costs are charged to named accounts on the simulated clock as the
+profilers run:
+
+- ``dayu.input_parser``           (configuration parse)
+- ``dayu.vol.access_tracker``     (VOL object/access/file events)
+- ``dayu.vfd.access_tracker``     (VFD per-op records + sessions)
+- ``dayu.characteristic_mapper``  (the VOL↔VFD join)
+
+:func:`overhead_report` folds those into the two views the paper uses:
+per-layer (VFD vs. VOL execution overhead %, Figure 9a-c) and per-component
+(Input Parser / Access Tracker / Characteristic Mapper shares, Figure 10),
+plus the storage overhead ratio (Figure 9d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.mapper.config import INPUT_PARSER_ACCOUNT
+from repro.mapper.mapper import CHARACTERISTIC_MAPPER_ACCOUNT
+from repro.simclock import SimClock
+from repro.vfd.tracing import ACCESS_TRACKER_ACCOUNT as VFD_TRACKER_ACCOUNT
+from repro.vol.tracer import VOL_TRACKER_ACCOUNT
+
+__all__ = ["OverheadReport", "overhead_report"]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """DaYu overhead relative to a run's total time and data volume."""
+
+    total_runtime: float
+    input_parser: float
+    vol_tracker: float
+    vfd_tracker: float
+    characteristic_mapper: float
+    trace_storage_bytes: int
+    data_volume_bytes: int
+
+    # ---------------------- execution overhead -----------------------
+    @property
+    def dayu_time(self) -> float:
+        return (
+            self.input_parser
+            + self.vol_tracker
+            + self.vfd_tracker
+            + self.characteristic_mapper
+        )
+
+    @property
+    def vfd_percent(self) -> float:
+        """VFD-layer execution overhead as % of total runtime (Fig. 9a-c)."""
+        return 100.0 * self.vfd_tracker / self.total_runtime if self.total_runtime else 0.0
+
+    @property
+    def vol_percent(self) -> float:
+        """VOL-layer execution overhead as % of total runtime (Fig. 9a-c)."""
+        return 100.0 * self.vol_tracker / self.total_runtime if self.total_runtime else 0.0
+
+    @property
+    def runtime_percent(self) -> float:
+        """*Runtime* execution overhead — the trackers and parser that run
+        inline with the application (the paper's <0.25% / <4% claims).
+        The Characteristic Mapper join is post-execution analysis and is
+        excluded here."""
+        inline = self.input_parser + self.vol_tracker + self.vfd_tracker
+        return 100.0 * inline / self.total_runtime if self.total_runtime else 0.0
+
+    @property
+    def total_percent(self) -> float:
+        """All DaYu time (runtime trackers + post-execution mapping)."""
+        return 100.0 * self.dayu_time / self.total_runtime if self.total_runtime else 0.0
+
+    # --------------------- component breakdown -----------------------
+    def component_shares(self) -> Dict[str, float]:
+        """Fractions of DaYu's own time per component (Fig. 10 pie)."""
+        total = self.dayu_time
+        if total <= 0:
+            return {"Input_Parser": 0.0, "Access_Tracker": 0.0, "Characteristic_Mapper": 0.0}
+        return {
+            "Input_Parser": self.input_parser / total,
+            "Access_Tracker": (self.vol_tracker + self.vfd_tracker) / total,
+            "Characteristic_Mapper": self.characteristic_mapper / total,
+        }
+
+    # ----------------------- storage overhead ------------------------
+    @property
+    def storage_percent(self) -> float:
+        """Trace bytes as % of application data volume (Fig. 9d)."""
+        if self.data_volume_bytes <= 0:
+            return 0.0
+        return 100.0 * self.trace_storage_bytes / self.data_volume_bytes
+
+
+def overhead_report(
+    clock: SimClock,
+    trace_storage_bytes: int = 0,
+    data_volume_bytes: int = 0,
+    total_runtime: float | None = None,
+) -> OverheadReport:
+    """Build an :class:`OverheadReport` from the clock's accounts.
+
+    Args:
+        clock: The run's simulated clock.
+        trace_storage_bytes: Serialized trace size (numerator of Fig. 9d).
+        data_volume_bytes: Application data volume (denominator of Fig. 9d).
+        total_runtime: Override for the run's total time; defaults to the
+            clock's current time.
+    """
+    return OverheadReport(
+        total_runtime=clock.now if total_runtime is None else total_runtime,
+        input_parser=clock.account(INPUT_PARSER_ACCOUNT),
+        vol_tracker=clock.account(VOL_TRACKER_ACCOUNT),
+        vfd_tracker=clock.account(VFD_TRACKER_ACCOUNT),
+        characteristic_mapper=clock.account(CHARACTERISTIC_MAPPER_ACCOUNT),
+        trace_storage_bytes=trace_storage_bytes,
+        data_volume_bytes=data_volume_bytes,
+    )

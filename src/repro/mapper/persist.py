@@ -1,0 +1,165 @@
+"""Trace persistence: loading saved task profiles for offline analysis.
+
+DaYu's runtime writes one JSON profile per task
+(:meth:`DataSemanticMapper.save`); the offline Workflow Analyzer then
+works from those files — a different process, usually a different machine.
+This module provides the read side: reconstructing
+:class:`~repro.mapper.mapper.TaskProfile` objects (and everything they
+contain) from the serialized form, so graphs and diagnostics can be built
+without re-running the workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.mapper.mapper import TaskProfile
+from repro.mapper.stats import DatasetIoStats
+from repro.posix.simfs import SimFS
+from repro.simclock import TimeSpan
+from repro.vfd.base import IoClass
+from repro.vfd.tracing import FileSession, VfdIoRecord
+from repro.vol.tracer import DataObjectProfile
+
+__all__ = [
+    "profile_from_json_dict",
+    "load_profile",
+    "load_profiles",
+    "load_profiles_from_dir",
+    "load_profiles_from_host_dir",
+]
+
+
+def _object_profile_from(d: dict) -> DataObjectProfile:
+    return DataObjectProfile(
+        task=d.get("task"),
+        file=d["file"],
+        object_name=d["object"],
+        acquired=d["acquired"],
+        released=d.get("released"),
+        open_count=d.get("open_count", 0),
+        shape=tuple(d.get("shape", ())),
+        dtype=d.get("dtype", ""),
+        layout=d.get("layout", ""),
+        nbytes=d.get("nbytes", 0),
+        reads=d.get("reads", 0),
+        writes=d.get("writes", 0),
+        elements_read=d.get("elements_read", 0),
+        elements_written=d.get("elements_written", 0),
+    )
+
+
+def _session_from(d: dict) -> FileSession:
+    session = FileSession(
+        task=d.get("task"),
+        file=d["file"],
+        open_time=d["open_time"],
+        close_time=d.get("close_time"),
+        read_ops=d.get("read_ops", 0),
+        write_ops=d.get("write_ops", 0),
+        read_bytes=d.get("read_bytes", 0),
+        write_bytes=d.get("write_bytes", 0),
+        sequential_ops=d.get("sequential_ops", 0),
+        sequential_raw_ops=d.get("sequential_raw_ops", 0),
+        metadata_ops=d.get("metadata_ops", 0),
+        raw_ops=d.get("raw_ops", 0),
+        data_objects=list(d.get("data_objects", [])),
+    )
+    return session
+
+
+def _record_from(d: dict) -> VfdIoRecord:
+    return VfdIoRecord(
+        task=d.get("task"),
+        file=d["file"],
+        op=d["op"],
+        offset=d["offset"],
+        nbytes=d["nbytes"],
+        start=d["start"],
+        duration=d["duration"],
+        access_type=IoClass(d["access_type"]),
+        data_object=d.get("data_object"),
+    )
+
+
+def _stats_from(d: dict) -> DatasetIoStats:
+    stats = DatasetIoStats(
+        task=d.get("task"),
+        file=d["file"],
+        data_object=d["data_object"],
+        reads=d.get("reads", 0),
+        writes=d.get("writes", 0),
+        bytes_read=d.get("bytes_read", 0),
+        bytes_written=d.get("bytes_written", 0),
+        data_ops=d.get("data_ops", 0),
+        data_bytes=d.get("data_bytes", 0),
+        metadata_ops=d.get("metadata_ops", 0),
+        metadata_bytes=d.get("metadata_bytes", 0),
+        io_time=d.get("io_time", 0.0),
+        first_start=d.get("first_start"),
+        last_end=d.get("last_end"),
+        first_raw_op=d.get("first_raw_op"),
+    )
+    stats.regions = {int(k): v for k, v in d.get("regions", {}).items()}
+    return stats
+
+
+def profile_from_json_dict(payload: dict) -> TaskProfile:
+    """Reconstruct a :class:`TaskProfile` from its serialized form.
+
+    Inverse of :meth:`TaskProfile.to_json_dict`; round-trips everything the
+    Analyzer and Diagnostics consume.
+    """
+    return TaskProfile(
+        task=payload["task"],
+        span=TimeSpan(payload["start"], payload["end"]),
+        files=list(payload.get("files", [])),
+        object_profiles=[
+            _object_profile_from(d) for d in payload.get("object_profiles", [])
+        ],
+        file_sessions=[
+            _session_from(d) for d in payload.get("file_sessions", [])
+        ],
+        io_records=[_record_from(d) for d in payload.get("io_records", [])],
+        dataset_stats=[_stats_from(d) for d in payload.get("dataset_stats", [])],
+    )
+
+
+def load_profile(data: bytes | str) -> TaskProfile:
+    """Parse one serialized profile (bytes or JSON text)."""
+    if isinstance(data, bytes):
+        data = data.decode()
+    return profile_from_json_dict(json.loads(data))
+
+
+def load_profiles(blobs) -> List[TaskProfile]:
+    """Parse many serialized profiles, preserving order."""
+    return [load_profile(b) for b in blobs]
+
+
+def load_profiles_from_host_dir(directory: str) -> List[TaskProfile]:
+    """Load every ``*.json`` profile from a real (host) directory, ordered
+    by task start time.  This is what the ``dayu-analyze`` CLI consumes."""
+    from pathlib import Path
+
+    profiles = []
+    for path in sorted(Path(directory).glob("*.json")):
+        profiles.append(load_profile(path.read_bytes()))
+    profiles.sort(key=lambda p: p.span.start)
+    return profiles
+
+
+def load_profiles_from_dir(fs: SimFS, directory: str) -> List[TaskProfile]:
+    """Load every ``*.json`` profile under ``directory`` of a simulated FS,
+    ordered by task start time (execution order)."""
+    profiles = []
+    for path in fs.listdir(directory):
+        if not path.endswith(".json"):
+            continue
+        fd = fs.open(path, "r")
+        raw = fs.read(fd, fs.file_size(fd))
+        fs.close(fd)
+        profiles.append(load_profile(raw))
+    profiles.sort(key=lambda p: p.span.start)
+    return profiles

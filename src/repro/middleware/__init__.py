@@ -1,0 +1,35 @@
+"""I/O middleware: the mechanisms behind DaYu's optimization guidelines.
+
+The paper applies its guidelines through buffering middleware (Hermes) and
+format rewrites.  This package provides simulated equivalents:
+
+- :class:`~repro.middleware.cache.TieredCache` — Hermes-like multi-tier
+  buffer (RAM → node-local flash → PFS) with capacity-aware placement.
+- :mod:`~repro.middleware.stager` — stage-in / stage-out / rolling
+  stage-in of whole files between mounts.
+- :func:`~repro.middleware.consolidate.consolidate_datasets` — merge many
+  small datasets into one large dataset plus an offset index (the paper's
+  PyFLEXTRKR stage-9 fix).
+- :func:`~repro.middleware.layout_convert.convert_layout` — rewrite a
+  file's datasets with a different storage layout (the paper's DDMD and
+  ARLDM fixes).
+"""
+
+from repro.middleware.async_stager import AsyncStager, AsyncTransfer
+from repro.middleware.cache import BufferTier, TieredCache
+from repro.middleware.consolidate import consolidate_datasets, read_consolidated
+from repro.middleware.layout_convert import convert_layout
+from repro.middleware.stager import rolling_stage_in, stage_in, stage_out
+
+__all__ = [
+    "AsyncStager",
+    "AsyncTransfer",
+    "BufferTier",
+    "TieredCache",
+    "stage_in",
+    "stage_out",
+    "rolling_stage_in",
+    "consolidate_datasets",
+    "read_consolidated",
+    "convert_layout",
+]

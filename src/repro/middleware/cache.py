@@ -1,0 +1,138 @@
+"""A Hermes-like tiered buffering middleware.
+
+Hermes places hot data across a hierarchy of buffers — RAM, node-local
+NVMe/SSD, then the parallel filesystem.  :class:`TieredCache` reproduces
+the placement logic over the simulated filesystem: files are *placed* into
+the fastest tier with room (evicting colder files downward when needed),
+and consumers *resolve* a path to wherever its hottest replica lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.middleware.stager import _copy
+from repro.posix.simfs import SimFS
+
+__all__ = ["BufferTier", "TieredCache"]
+
+
+@dataclass
+class BufferTier:
+    """One level of the buffering hierarchy.
+
+    Attributes:
+        name: Display name, e.g. ``"ram"``.
+        prefix: Mount prefix files placed in this tier are copied under.
+        capacity_bytes: Total bytes the tier may hold.
+    """
+
+    name: str
+    prefix: str
+    capacity_bytes: int
+    used_bytes: int = 0
+    #: original path -> replica path within this tier
+    resident: Dict[str, str] = field(default_factory=dict)
+
+    def has_room(self, nbytes: int) -> bool:
+        return self.used_bytes + nbytes <= self.capacity_bytes
+
+
+class TieredCache:
+    """Capacity-aware file placement across ordered buffer tiers.
+
+    Args:
+        fs: The simulated filesystem (tier prefixes must be mounted).
+        tiers: Fastest tier first.
+    """
+
+    def __init__(self, fs: SimFS, tiers: List[BufferTier]) -> None:
+        if not tiers:
+            raise ValueError("at least one tier is required")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.fs = fs
+        self.tiers = list(tiers)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _replica_path(self, tier: BufferTier, path: str) -> str:
+        safe = path.strip("/").replace("/", "_")
+        return f"{tier.prefix.rstrip('/')}/{safe}"
+
+    def place(self, path: str, tier_name: Optional[str] = None) -> str:
+        """Copy ``path`` into the fastest tier with room (or a named tier).
+
+        Returns the replica path.  When a specific tier is requested and
+        lacks room, colder files are demoted to make space; if the file
+        cannot fit at all, the original path is returned unchanged.
+        """
+        size = self.fs.stat(path).size
+        candidates = (
+            [t for t in self.tiers if t.name == tier_name]
+            if tier_name
+            else self.tiers
+        )
+        if tier_name and not candidates:
+            raise KeyError(f"no tier named {tier_name!r}")
+        for tier in candidates:
+            if path in tier.resident:
+                return tier.resident[path]
+            if not tier.has_room(size) and tier_name:
+                self._make_room(tier, size)
+            if tier.has_room(size):
+                replica = self._replica_path(tier, path)
+                _copy(self.fs, path, replica)
+                tier.resident[path] = replica
+                tier.used_bytes += size
+                return replica
+        return path
+
+    def _make_room(self, tier: BufferTier, nbytes: int) -> None:
+        """Demote resident files (FIFO) to the next tier down until
+        ``nbytes`` fit."""
+        idx = self.tiers.index(tier)
+        below = self.tiers[idx + 1] if idx + 1 < len(self.tiers) else None
+        while not tier.has_room(nbytes) and tier.resident:
+            victim, replica = next(iter(tier.resident.items()))
+            size = self.fs.stat(replica).size
+            if below is not None and below.has_room(size):
+                demoted = self._replica_path(below, victim)
+                _copy(self.fs, replica, demoted)
+                below.resident[victim] = demoted
+                below.used_bytes += size
+            self.fs.unlink(replica)
+            del tier.resident[victim]
+            tier.used_bytes -= size
+
+    # ------------------------------------------------------------------
+    # Lookup / eviction
+    # ------------------------------------------------------------------
+    def resolve(self, path: str) -> str:
+        """The fastest replica of ``path``, or the original path."""
+        for tier in self.tiers:
+            replica = tier.resident.get(path)
+            if replica is not None:
+                return replica
+        return path
+
+    def is_cached(self, path: str) -> bool:
+        return any(path in t.resident for t in self.tiers)
+
+    def evict(self, path: str) -> None:
+        """Drop every replica of ``path`` from all tiers."""
+        for tier in self.tiers:
+            replica = tier.resident.pop(path, None)
+            if replica is not None:
+                tier.used_bytes -= self.fs.stat(replica).size
+                self.fs.unlink(replica)
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-tier fraction of capacity in use."""
+        return {
+            t.name: (t.used_bytes / t.capacity_bytes if t.capacity_bytes else 0.0)
+            for t in self.tiers
+        }

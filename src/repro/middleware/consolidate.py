@@ -1,0 +1,93 @@
+"""Dataset consolidation: many small datasets → one large dataset.
+
+The paper's PyFLEXTRKR fix: files with dozens of sub-500-byte datasets
+cause excessive metadata access, so "consolidate these small datasets into
+a single, larger one ... keeping track of the original file offsets within
+the consolidated dataset".  :func:`consolidate_datasets` performs that
+rewrite; :func:`read_consolidated` reads one logical member back through
+the offset index with a single partial access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.hdf5 import Dataset, Group, H5File, Selection
+from repro.hdf5.errors import H5LayoutError, H5NameError
+from repro.posix.simfs import SimFS
+
+__all__ = ["consolidate_datasets", "read_consolidated", "CONSOLIDATED_NAME"]
+
+#: Name of the merged dataset inside the consolidated file.
+CONSOLIDATED_NAME = "consolidated"
+
+
+def consolidate_datasets(fs: SimFS, src_path: str, dst_path: str) -> Dict[str, Tuple[int, int]]:
+    """Rewrite ``src_path`` merging its root datasets into one.
+
+    All root-level fixed-dtype datasets are flattened (as raw bytes) and
+    packed back-to-back into a single contiguous ``consolidated`` dataset
+    of dtype ``u1``; the offset index is stored as attributes
+    (``<name>.offset`` / ``<name>.nbytes`` / ``<name>.dtype`` /
+    ``<name>.shape``) plus a ``members`` listing.
+
+    Returns:
+        Mapping of member name → (byte offset, byte length).
+
+    Raises:
+        H5LayoutError: If the source holds variable-length datasets (their
+            heap references cannot be byte-packed meaningfully).
+    """
+    with H5File(fs, src_path, "r") as src:
+        members: List[Tuple[str, Dataset]] = [
+            (d.name.lstrip("/"), d) for d in src.root.datasets()
+        ]
+        blobs: List[Tuple[str, bytes, str, Tuple[int, ...]]] = []
+        for name, ds in members:
+            if ds.dtype.is_vlen:
+                raise H5LayoutError(
+                    f"cannot consolidate variable-length dataset {name!r}"
+                )
+            arr = ds.read()
+            blobs.append((name, arr.tobytes(), ds.dtype.code, ds.shape))
+
+    index: Dict[str, Tuple[int, int]] = {}
+    payload = bytearray()
+    for name, raw, _, _ in blobs:
+        index[name] = (len(payload), len(raw))
+        payload.extend(raw)
+
+    with H5File(fs, dst_path, "w") as dst:
+        big = dst.create_dataset(
+            CONSOLIDATED_NAME, shape=(max(len(payload), 1),), dtype="u1"
+        )
+        if payload:
+            big.write(np.frombuffer(bytes(payload), dtype=np.uint8))
+        big.attrs["members"] = ",".join(name for name, _, _, _ in blobs)
+        for name, _, dtype_code, shape in blobs:
+            offset, nbytes = index[name]
+            big.attrs[f"{name}.offset"] = offset
+            big.attrs[f"{name}.nbytes"] = nbytes
+            big.attrs[f"{name}.dtype"] = dtype_code
+            big.attrs[f"{name}.shape"] = np.asarray(shape, dtype=np.int64)
+    return index
+
+
+def read_consolidated(consolidated: Dataset, member: str) -> np.ndarray:
+    """Read one logical member from a consolidated dataset.
+
+    One partial contiguous access replaces the per-dataset header walk the
+    scattered original required.
+    """
+    attrs = consolidated.attrs
+    names = str(attrs.get("members", "")).split(",")
+    if member not in names:
+        raise H5NameError(f"no consolidated member named {member!r}")
+    offset = int(attrs[f"{member}.offset"])
+    nbytes = int(attrs[f"{member}.nbytes"])
+    dtype_code = str(attrs[f"{member}.dtype"])
+    shape = tuple(int(x) for x in np.atleast_1d(attrs[f"{member}.shape"]))
+    raw = consolidated.read(Selection.hyperslab(((offset, nbytes),)))
+    return np.frombuffer(raw.tobytes(), dtype=np.dtype(dtype_code)).reshape(shape)

@@ -1,0 +1,36 @@
+"""A classic-NetCDF-like self-describing format.
+
+The paper's method "leverages rich metadata from high-level I/O libraries
+like HDF5 and netCDF"; this package provides the second format family so
+the claim is demonstrable.  It follows the classic NetCDF (CDF-1) data
+model:
+
+- named **dimensions**, at most one of them UNLIMITED (the record
+  dimension);
+- **variables** over those dimensions with attributes;
+- a single header written at ``enddef()`` time, followed by the data
+  section: *fixed* variables packed contiguously, *record* variables
+  interleaved per record.
+
+That record interleaving is netCDF's signature I/O behaviour — appending
+one record touches every record variable's slot, and reading one record
+variable end-to-end produces one operation per record — giving DaYu a
+genuinely different low-level pattern to decode than HDF5's chunking.
+
+All I/O flows through the same VFD abstraction, so the
+:class:`~repro.netcdf.vol.NcVolFile` wrapper plugs straight into DaYu's
+profilers and the downstream Analyzer/Diagnostics.
+"""
+
+from repro.netcdf.file import NcFile, NcVariable
+from repro.netcdf.format import UNLIMITED, NcFormatError
+from repro.netcdf.vol import NcVolFile, NcVolVariable
+
+__all__ = [
+    "NcFile",
+    "NcVariable",
+    "NcVolFile",
+    "NcVolVariable",
+    "UNLIMITED",
+    "NcFormatError",
+]

@@ -1,0 +1,394 @@
+"""The classic-NetCDF-like file object and its variables.
+
+Life cycle (matching netCDF's define/data mode split):
+
+1. create in **define mode**: add dimensions, variables, attributes;
+2. ``enddef()`` computes the data layout — fixed variables packed
+   back-to-back after the header, record variables interleaved per
+   record — and writes the header (metadata I/O);
+3. **data mode**: variable reads/writes translate to raw I/O with the
+   layouts' characteristic shapes — one contiguous run per fixed-variable
+   access, one operation *per record* for record variables.
+
+The record-append path rewrites the header's ``numrecs`` in place (a small
+metadata write), reproducing netCDF's well-known header-update chatter.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hdf5.datatype import Datatype
+from repro.netcdf.format import (
+    HEADER_ALIGN,
+    UNLIMITED,
+    NcAtt,
+    NcDim,
+    NcFormatError,
+    NcHeader,
+    NcVarMeta,
+)
+from repro.posix.simfs import SimFS
+from repro.vfd.base import IoClass, VirtualFileDriver
+from repro.vfd.sec2 import Sec2VFD
+
+__all__ = ["NcFile", "NcVariable"]
+
+
+def _encode_att_value(value) -> Tuple[str, bytes]:
+    if isinstance(value, str):
+        return "text", value.encode("utf-8")
+    if isinstance(value, (int, np.integer)):
+        return "i8", np.int64(value).tobytes()
+    if isinstance(value, (float, np.floating)):
+        return "f8", np.float64(value).tobytes()
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        dt = Datatype.of(value.dtype)
+        return dt.code, np.ascontiguousarray(value).tobytes()
+    raise NcFormatError(f"unsupported attribute value {value!r}")
+
+
+def _decode_att_value(dtype: str, payload: bytes):
+    if dtype == "text":
+        return payload.decode("utf-8")
+    arr = np.frombuffer(payload, dtype=Datatype(dtype).numpy_dtype)
+    if arr.size == 1:
+        return arr[0].item()
+    return arr.copy()
+
+
+class NcVariable:
+    """One variable; obtained from :meth:`NcFile.variable`."""
+
+    def __init__(self, file: "NcFile", meta: NcVarMeta) -> None:
+        self._file = file
+        self._meta = meta
+
+    @property
+    def name(self) -> str:
+        return self._meta.name
+
+    @property
+    def dtype(self) -> Datatype:
+        return Datatype(self._meta.dtype)
+
+    @property
+    def dimensions(self) -> Tuple[str, ...]:
+        return tuple(self._file._header.dims[d].name for d in self._meta.dim_ids)
+
+    @property
+    def is_record(self) -> bool:
+        return self._file._header.is_record_var(self._meta)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        dims = []
+        for d in self._meta.dim_ids:
+            dim = self._file._header.dims[d]
+            dims.append(self._file._header.numrecs if dim.is_record else dim.length)
+        return tuple(dims)
+
+    @property
+    def _slice_elems(self) -> int:
+        """Elements per record (record vars) or total elements (fixed)."""
+        n = 1
+        for d in self._meta.dim_ids:
+            dim = self._file._header.dims[d]
+            if not dim.is_record:
+                n *= dim.length
+        return n
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+    def set_att(self, name: str, value) -> None:
+        self._file._require_define_mode("set a variable attribute")
+        dtype, payload = _encode_att_value(value)
+        self._meta.atts = [a for a in self._meta.atts if a.name != name]
+        self._meta.atts.append(NcAtt(name, dtype, payload))
+
+    def get_att(self, name: str):
+        for a in self._meta.atts:
+            if a.name == name:
+                return _decode_att_value(a.dtype, a.payload)
+        raise KeyError(f"variable {self.name!r} has no attribute {name!r}")
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write(self, data) -> None:
+        """Write the whole variable (fixed) or all records (record var)."""
+        self._file._require_data_mode("write data")
+        dt = self.dtype
+        arr = np.ascontiguousarray(np.asarray(data).astype(dt.numpy_dtype))
+        if not self.is_record:
+            expected = self._slice_elems
+            if arr.size != expected:
+                raise NcFormatError(
+                    f"{self.name}: got {arr.size} elements, expected {expected}")
+            self._file._scoped(self.name, lambda: self._file.vfd.write(
+                self._meta.begin, arr.tobytes(), IoClass.RAW))
+            return
+        # Record variable: one write per record slot (the interleaving).
+        per_rec = self._slice_elems
+        if arr.size % per_rec:
+            raise NcFormatError(
+                f"{self.name}: size {arr.size} is not a multiple of the "
+                f"record slice ({per_rec} elements)")
+        nrec = arr.size // per_rec
+        flat = arr.reshape(-1)
+        for r in range(nrec):
+            self.write_record(r, flat[r * per_rec:(r + 1) * per_rec])
+
+    def write_record(self, rec: int, data) -> None:
+        """Write one record of a record variable (grows ``numrecs``)."""
+        self._file._require_data_mode("write a record")
+        if not self.is_record:
+            raise NcFormatError(f"{self.name} is not a record variable")
+        dt = self.dtype
+        arr = np.ascontiguousarray(np.asarray(data).astype(dt.numpy_dtype))
+        if arr.size != self._slice_elems:
+            raise NcFormatError(
+                f"{self.name}: record needs {self._slice_elems} elements, "
+                f"got {arr.size}")
+        addr = self._file._record_addr(self._meta, rec)
+        self._file._scoped(self.name, lambda: self._file.vfd.write(
+            addr, arr.tobytes(), IoClass.RAW))
+        if rec >= self._file._header.numrecs:
+            self._file._grow_numrecs(rec + 1)
+
+    def read(self) -> np.ndarray:
+        """Read the whole variable."""
+        self._file._require_data_mode("read data")
+        dt = self.dtype
+        if not self.is_record:
+            raw = self._file._scoped(self.name, lambda: self._file.vfd.read(
+                self._meta.begin, self._meta.vsize, IoClass.RAW))
+            return np.frombuffer(raw, dtype=dt.numpy_dtype).reshape(self.shape).copy()
+        parts = [self.read_record(r).reshape(-1)
+                 for r in range(self._file._header.numrecs)]
+        flat = np.concatenate(parts) if parts else np.zeros(0, dt.numpy_dtype)
+        return flat.reshape(self.shape)
+
+    def read_record(self, rec: int) -> np.ndarray:
+        """Read one record of a record variable."""
+        self._file._require_data_mode("read a record")
+        if not self.is_record:
+            raise NcFormatError(f"{self.name} is not a record variable")
+        if not (0 <= rec < self._file._header.numrecs):
+            raise NcFormatError(
+                f"record {rec} out of range ({self._file._header.numrecs})")
+        addr = self._file._record_addr(self._meta, rec)
+        raw = self._file._scoped(self.name, lambda: self._file.vfd.read(
+            addr, self._meta.vsize, IoClass.RAW))
+        inner = self.shape[1:]
+        return np.frombuffer(raw, dtype=self.dtype.numpy_dtype).reshape(inner).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "record" if self.is_record else "fixed"
+        return f"<NcVariable {self.name!r} {self.dtype.code} {kind} {self.shape}>"
+
+
+class NcFile:
+    """An open classic-NetCDF-like container.
+
+    Args:
+        fs: Simulated filesystem.
+        path: File path.
+        mode: ``"w"`` create (starts in define mode) or ``"r"`` read.
+        vfd_wrap: Optional VFD wrapper (DaYu's tracing hook).
+        object_scope: Optional callable ``scope(name)`` returning a context
+            manager announcing the active variable (the VOL layer installs
+            the shared-channel scope here).
+    """
+
+    def __init__(
+        self,
+        fs: SimFS,
+        path: str,
+        mode: str = "r",
+        *,
+        vfd_wrap: Optional[Callable[[VirtualFileDriver], VirtualFileDriver]] = None,
+        object_scope=None,
+    ) -> None:
+        if mode not in ("r", "w"):
+            raise ValueError(f"unsupported NcFile mode {mode!r}")
+        self._mode = mode
+        base: VirtualFileDriver = Sec2VFD(fs, path, mode)
+        self.vfd = vfd_wrap(base) if vfd_wrap else base
+        self._object_scope = object_scope
+        self._closed = False
+        if mode == "w":
+            self._header = NcHeader()
+            self._define_mode = True
+            self._header_alloc = 0
+        else:
+            # Read the aligned header: first block, then the rest if bigger.
+            first = self.vfd.read(0, HEADER_ALIGN, IoClass.METADATA)
+            header = NcHeader.decode(first)
+            needed = header.encoded_size
+            if needed > len(first):
+                header = NcHeader.decode(
+                    self.vfd.read(0, needed, IoClass.METADATA))
+            self._header = header
+            self._header_alloc = self._header.encoded_size
+            self._define_mode = False
+
+    # ------------------------------------------------------------------
+    # Mode guards
+    # ------------------------------------------------------------------
+    def _require_define_mode(self, what: str) -> None:
+        self._check_open()
+        if not self._define_mode:
+            raise NcFormatError(f"cannot {what}: not in define mode")
+
+    def _require_data_mode(self, what: str) -> None:
+        self._check_open()
+        if self._define_mode:
+            raise NcFormatError(f"cannot {what}: still in define mode "
+                                "(call enddef() first)")
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise NcFormatError("file is closed")
+
+    def _scoped(self, name: str, fn):
+        if self._object_scope is None:
+            return fn()
+        with self._object_scope(name):
+            return fn()
+
+    # ------------------------------------------------------------------
+    # Define mode
+    # ------------------------------------------------------------------
+    def create_dimension(self, name: str, length: Optional[int]) -> int:
+        """Add a dimension; ``None`` length makes it the record dimension."""
+        self._require_define_mode("create a dimension")
+        if any(d.name == name for d in self._header.dims):
+            raise NcFormatError(f"dimension {name!r} already exists")
+        if length is None:
+            if self._header.record_dim_id() is not None:
+                raise NcFormatError("only one UNLIMITED dimension is allowed")
+            length = UNLIMITED
+        elif length <= 0:
+            raise NcFormatError(f"dimension length must be positive, got {length}")
+        self._header.dims.append(NcDim(name, length))
+        return len(self._header.dims) - 1
+
+    def create_variable(self, name: str, dtype, dims: Sequence[str]) -> NcVariable:
+        """Add a variable over named dimensions (record dim first, if any)."""
+        self._require_define_mode("create a variable")
+        if any(v.name == name for v in self._header.variables):
+            raise NcFormatError(f"variable {name!r} already exists")
+        dt = Datatype.of(dtype)
+        if dt.is_vlen:
+            raise NcFormatError("the classic model has no variable-length type")
+        by_name = {d.name: i for i, d in enumerate(self._header.dims)}
+        dim_ids = []
+        for dname in dims:
+            if dname not in by_name:
+                raise NcFormatError(f"unknown dimension {dname!r}")
+            dim_ids.append(by_name[dname])
+        rec = self._header.record_dim_id()
+        if rec in dim_ids and dim_ids[0] != rec:
+            raise NcFormatError("the record dimension must come first")
+        meta = NcVarMeta(name=name, dtype=dt.code, dim_ids=dim_ids)
+        self._header.variables.append(meta)
+        return NcVariable(self, meta)
+
+    def set_att(self, name: str, value) -> None:
+        """Set a global attribute."""
+        self._require_define_mode("set a global attribute")
+        dtype, payload = _encode_att_value(value)
+        self._header.atts = [a for a in self._header.atts if a.name != name]
+        self._header.atts.append(NcAtt(name, dtype, payload))
+
+    def get_att(self, name: str):
+        for a in self._header.atts:
+            if a.name == name:
+                return _decode_att_value(a.dtype, a.payload)
+        raise KeyError(f"no global attribute {name!r}")
+
+    def enddef(self) -> None:
+        """Freeze the schema, compute the layout, write the header."""
+        self._require_define_mode("call enddef")
+        header = self._header
+        # Sizes: record vars report bytes-per-record, fixed vars total bytes.
+        for v in header.variables:
+            elems = 1
+            for d in v.dim_ids:
+                dim = header.dims[d]
+                if not dim.is_record:
+                    elems *= dim.length
+            v.vsize = elems * Datatype(v.dtype).itemsize
+        self._header_alloc = header.encoded_size
+        offset = self._header_alloc
+        for v in header.variables:
+            if not header.is_record_var(v):
+                v.begin = offset
+                offset += v.vsize
+        for v in header.variables:
+            if header.is_record_var(v):
+                v.begin = offset
+                offset += v.vsize
+        self._define_mode = False
+        self._write_header()
+
+    # ------------------------------------------------------------------
+    # Data-mode internals
+    # ------------------------------------------------------------------
+    def _record_addr(self, meta: NcVarMeta, rec: int) -> int:
+        return meta.begin + rec * self._header.recsize()
+
+    def _grow_numrecs(self, numrecs: int) -> None:
+        self._header.numrecs = numrecs
+        # netCDF's header chatter: numrecs lives in the header on disk.
+        self.vfd.write(4, struct.pack("<Q", numrecs), IoClass.METADATA)
+
+    def _write_header(self) -> None:
+        encoded = self._header.encode()
+        if len(encoded) > self._header_alloc:
+            raise NcFormatError("header grew past its allocation")
+        self.vfd.write(0, encoded, IoClass.METADATA)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def variable(self, name: str) -> NcVariable:
+        self._check_open()
+        for meta in self._header.variables:
+            if meta.name == name:
+                return NcVariable(self, meta)
+        raise KeyError(f"no variable {name!r}")
+
+    def variables(self) -> List[str]:
+        return [v.name for v in self._header.variables]
+
+    def dimensions(self) -> Dict[str, int]:
+        return {
+            d.name: (self._header.numrecs if d.is_record else d.length)
+            for d in self._header.dims
+        }
+
+    @property
+    def numrecs(self) -> int:
+        return self._header.numrecs
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._mode == "w":
+            if self._define_mode:
+                self.enddef()
+            self._write_header()
+        self._closed = True
+        self.vfd.close()
+
+    def __enter__(self) -> "NcFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,179 @@
+"""Binary header codec for the classic-NetCDF-like format.
+
+Header layout (all integers little-endian u4 unless noted)::
+
+    magic      "RNC\\x01" (4 bytes)
+    numrecs    u8   — records written so far (record dimension length)
+    dim_count  u4   then per dim:  name (len-prefixed), length u8
+                    (length 0 marks the UNLIMITED/record dimension)
+    att_count  u4   then per att:  name, dtype code, payload (len-prefixed)
+    var_count  u4   then per var:  name, dtype code, dim-id list,
+                    att list (as above), vsize u8, begin u8
+
+``vsize`` is the variable's bytes per record (record vars) or total bytes
+(fixed vars); ``begin`` is its data offset.  The header is padded to a
+fixed allocation so re-writing ``numrecs`` never relocates it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdf5.format import pack_bytes, unpack_bytes
+
+__all__ = ["UNLIMITED", "NcFormatError", "NcDim", "NcAtt", "NcVarMeta", "NcHeader"]
+
+MAGIC = b"RNC\x01"
+
+#: Sentinel dimension length marking the record (unlimited) dimension.
+UNLIMITED = 0
+
+#: Headers are padded to a multiple of this so growth rarely relocates.
+HEADER_ALIGN = 512
+
+
+class NcFormatError(Exception):
+    """Raised when on-disk bytes do not parse as this format."""
+
+
+@dataclass
+class NcDim:
+    name: str
+    length: int  # UNLIMITED (0) for the record dimension
+
+    @property
+    def is_record(self) -> bool:
+        return self.length == UNLIMITED
+
+
+@dataclass
+class NcAtt:
+    name: str
+    dtype: str  # a fixed Datatype code, or "text"
+    payload: bytes
+
+    def encode(self) -> bytes:
+        return (pack_bytes(self.name.encode()) + pack_bytes(self.dtype.encode())
+                + pack_bytes(self.payload))
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["NcAtt", int]:
+        name, offset = unpack_bytes(data, offset)
+        dtype, offset = unpack_bytes(data, offset)
+        payload, offset = unpack_bytes(data, offset)
+        return cls(name.decode(), dtype.decode(), payload), offset
+
+
+@dataclass
+class NcVarMeta:
+    name: str
+    dtype: str
+    dim_ids: List[int]
+    atts: List[NcAtt] = field(default_factory=list)
+    vsize: int = 0
+    begin: int = 0
+
+    def encode(self) -> bytes:
+        out = pack_bytes(self.name.encode()) + pack_bytes(self.dtype.encode())
+        out += struct.pack("<I", len(self.dim_ids))
+        for d in self.dim_ids:
+            out += struct.pack("<I", d)
+        out += struct.pack("<I", len(self.atts))
+        for a in self.atts:
+            out += a.encode()
+        out += struct.pack("<QQ", self.vsize, self.begin)
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["NcVarMeta", int]:
+        name, offset = unpack_bytes(data, offset)
+        dtype, offset = unpack_bytes(data, offset)
+        (ndims,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        dim_ids = []
+        for _ in range(ndims):
+            (d,) = struct.unpack_from("<I", data, offset)
+            dim_ids.append(d)
+            offset += 4
+        (natts,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        atts = []
+        for _ in range(natts):
+            att, offset = NcAtt.decode(data, offset)
+            atts.append(att)
+        vsize, begin = struct.unpack_from("<QQ", data, offset)
+        offset += 16
+        return cls(name.decode(), dtype.decode(), dim_ids, atts, vsize, begin), offset
+
+
+@dataclass
+class NcHeader:
+    numrecs: int = 0
+    dims: List[NcDim] = field(default_factory=list)
+    atts: List[NcAtt] = field(default_factory=list)
+    variables: List[NcVarMeta] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        out = MAGIC + struct.pack("<Q", self.numrecs)
+        out += struct.pack("<I", len(self.dims))
+        for d in self.dims:
+            out += pack_bytes(d.name.encode()) + struct.pack("<Q", d.length)
+        out += struct.pack("<I", len(self.atts))
+        for a in self.atts:
+            out += a.encode()
+        out += struct.pack("<I", len(self.variables))
+        for v in self.variables:
+            out += v.encode()
+        pad = (-len(out)) % HEADER_ALIGN
+        return out + b"\x00" * pad
+
+    @property
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NcHeader":
+        if data[:4] != MAGIC:
+            raise NcFormatError(f"bad magic {data[:4]!r}")
+        (numrecs,) = struct.unpack_from("<Q", data, 4)
+        offset = 12
+        (ndims,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        dims = []
+        for _ in range(ndims):
+            name, offset = unpack_bytes(data, offset)
+            (length,) = struct.unpack_from("<Q", data, offset)
+            offset += 8
+            dims.append(NcDim(name.decode(), length))
+        (natts,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        atts = []
+        for _ in range(natts):
+            att, offset = NcAtt.decode(data, offset)
+            atts.append(att)
+        (nvars,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        variables = []
+        for _ in range(nvars):
+            var, offset = NcVarMeta.decode(data, offset)
+            variables.append(var)
+        return cls(numrecs=numrecs, dims=dims, atts=atts, variables=variables)
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    def record_dim_id(self) -> Optional[int]:
+        for i, d in enumerate(self.dims):
+            if d.is_record:
+                return i
+        return None
+
+    def is_record_var(self, var: NcVarMeta) -> bool:
+        rec = self.record_dim_id()
+        return rec is not None and bool(var.dim_ids) and var.dim_ids[0] == rec
+
+    def recsize(self) -> int:
+        """Bytes one record occupies across all record variables."""
+        return sum(v.vsize for v in self.variables if self.is_record_var(v))

@@ -1,0 +1,181 @@
+"""VOL instrumentation for the netCDF-like format.
+
+Same design as :mod:`repro.vol.objects` for HDF5: thin wrappers announce
+the active variable to the VFD profiler through the shared channel and
+feed object semantics to the VOL tracer, so a netCDF task's profile is
+indistinguishable in structure from an HDF5 task's — which is exactly what
+lets DaYu analyze mixed-format workflows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.netcdf.file import NcFile, NcVariable
+from repro.posix.simfs import SimFS
+from repro.vfd.tracing import TracingVFD, VfdTracer
+from repro.vol.tracer import VolTracer
+
+__all__ = ["NcVolFile", "NcVolVariable"]
+
+
+class NcVolVariable:
+    """Instrumented variable handle."""
+
+    def __init__(self, inner: NcVariable, file: "NcVolFile") -> None:
+        self._inner = inner
+        self._file = file
+        file.vol.on_object_open(
+            file.path,
+            "/" + inner.name,
+            shape=inner.shape,
+            dtype=inner.dtype.code,
+            layout="record" if inner.is_record else "fixed",
+            nbytes=inner._meta.vsize * (max(inner.shape[0], 1) if inner.is_record else 1),
+        )
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def shape(self):
+        return self._inner.shape
+
+    @property
+    def dtype(self):
+        return self._inner.dtype
+
+    @property
+    def is_record(self) -> bool:
+        return self._inner.is_record
+
+    def set_att(self, name: str, value) -> None:
+        self._inner.set_att(name, value)
+
+    def get_att(self, name: str):
+        return self._inner.get_att(name)
+
+    def _count(self) -> int:
+        n = 1
+        for d in self._inner.shape:
+            n *= d
+        return n
+
+    def write(self, data) -> None:
+        self._inner.write(data)
+        elements = self._count()
+        self._file.vol.on_access(
+            self._file.path, "/" + self.name, "write",
+            elements, elements * self._inner.dtype.itemsize)
+
+    def write_record(self, rec: int, data) -> None:
+        self._inner.write_record(rec, data)
+        per = self._inner._slice_elems
+        self._file.vol.on_access(
+            self._file.path, "/" + self.name, "write",
+            per, per * self._inner.dtype.itemsize)
+
+    def read(self):
+        result = self._inner.read()
+        elements = self._count()
+        self._file.vol.on_access(
+            self._file.path, "/" + self.name, "read",
+            elements, elements * self._inner.dtype.itemsize)
+        return result
+
+    def read_record(self, rec: int):
+        result = self._inner.read_record(rec)
+        per = self._inner._slice_elems
+        self._file.vol.on_access(
+            self._file.path, "/" + self.name, "read",
+            per, per * self._inner.dtype.itemsize)
+        return result
+
+    def close(self) -> None:
+        self._file.vol.on_object_close(self._file.path, "/" + self.name)
+
+
+class NcVolFile:
+    """Instrumented netCDF-like file handle (the DaYu-profiled stack)."""
+
+    def __init__(
+        self,
+        fs: SimFS,
+        path: str,
+        mode: str = "r",
+        *,
+        vol: VolTracer,
+        vfd_tracer: Optional[VfdTracer] = None,
+    ) -> None:
+        self.vol = vol
+        self.channel = vol.channel
+        wrap = (
+            (lambda inner: TracingVFD(inner, vfd_tracer))
+            if vfd_tracer is not None else None
+        )
+        self._inner = NcFile(
+            fs, path, mode, vfd_wrap=wrap,
+            object_scope=lambda name: self.channel.object_scope("/" + name),
+        )
+        self._path = path
+        vol.on_file_open(path)
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def inner(self) -> NcFile:
+        return self._inner
+
+    # -- define mode ----------------------------------------------------
+    def create_dimension(self, name: str, length) -> int:
+        return self._inner.create_dimension(name, length)
+
+    def create_variable(self, name: str, dtype, dims: Sequence[str]) -> NcVolVariable:
+        with self.channel.object_scope("/" + name):
+            inner = self._inner.create_variable(name, dtype, dims)
+        return NcVolVariable(inner, self)
+
+    def set_att(self, name: str, value) -> None:
+        self._inner.set_att(name, value)
+
+    def get_att(self, name: str):
+        return self._inner.get_att(name)
+
+    def enddef(self) -> None:
+        self._inner.enddef()
+
+    # -- data mode --------------------------------------------------------
+    def variable(self, name: str) -> NcVolVariable:
+        with self.channel.object_scope("/" + name):
+            inner = self._inner.variable(name)
+        return NcVolVariable(inner, self)
+
+    def variables(self):
+        return self._inner.variables()
+
+    def dimensions(self):
+        return self._inner.dimensions()
+
+    @property
+    def numrecs(self) -> int:
+        return self._inner.numrecs
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._inner.close()
+            self.vol.on_file_close(self._path)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "NcVolFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

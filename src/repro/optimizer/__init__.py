@@ -1,0 +1,22 @@
+"""Automated optimization — the paper's stated future work, implemented.
+
+"We plan to expand the I/O optimization guidelines, further leveraging
+DaYu's insights to automate optimization strategies" (paper §IX).  This
+package closes the loop the evaluation performed by hand:
+
+- :func:`~repro.optimizer.planner.build_plan` turns a diagnostic report
+  into an executable :class:`~repro.optimizer.planner.OptimizationPlan` —
+  placement pins, stage-in/out moves, and format rewrites;
+- :meth:`OptimizationPlan.apply_format_changes` performs the layout
+  rewrites/consolidations through the middleware;
+- :meth:`OptimizationPlan.scheduler` yields a placement policy encoding
+  the co-scheduling decisions;
+- :class:`~repro.optimizer.transparent.TransparentCache` provides the
+  "transparent and immediate runtime optimization" integration: a path
+  resolver that redirects reads to node-local replicas automatically.
+"""
+
+from repro.optimizer.planner import OptimizationPlan, PlanStep, build_plan
+from repro.optimizer.transparent import TransparentCache
+
+__all__ = ["OptimizationPlan", "PlanStep", "build_plan", "TransparentCache"]

@@ -1,0 +1,200 @@
+"""Optimization planning: diagnostic insights → an executable plan.
+
+The planner consumes a :class:`~repro.diagnostics.report.DiagnosticReport`
+(plus the cluster it will run on) and emits concrete, ordered steps:
+
+- ``pin`` — co-schedule the named tasks on one node (producer/consumer
+  chains found through read-after-write insights);
+- ``stage_in`` — copy a reused or sequentially-scanned file to that node's
+  local tier before its consumers run;
+- ``stage_out`` — demote a disposable file once its last consumer ran;
+- ``convert_contiguous`` / ``convert_chunked`` — rewrite a file's layout;
+- ``consolidate`` — merge a scattered file's small datasets.
+
+``apply_format_changes`` executes the rewrite steps immediately (they are
+offline file transformations); the placement steps are consumed by
+:meth:`OptimizationPlan.scheduler` and :meth:`OptimizationPlan.stage_in_all`
+when re-running the workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.cluster import Cluster
+from repro.diagnostics.insights import Insight, InsightKind
+from repro.diagnostics.report import DiagnosticReport
+from repro.middleware.consolidate import consolidate_datasets
+from repro.middleware.layout_convert import convert_layout
+from repro.middleware.stager import stage_in, stage_out
+from repro.posix.simfs import SimFS
+from repro.workflow.scheduler import PinnedScheduler
+
+__all__ = ["PlanStep", "OptimizationPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One executable optimization action."""
+
+    action: str           # pin | stage_in | stage_out | convert_* | consolidate
+    target: str           # file path or task name
+    detail: str = ""      # node, tier, or layout parameter
+    rationale: str = ""
+
+
+@dataclass
+class OptimizationPlan:
+    """An ordered, executable set of optimization steps."""
+
+    steps: List[PlanStep] = field(default_factory=list)
+    #: task name → node for the co-scheduling decisions.
+    pins: Dict[str, str] = field(default_factory=dict)
+    #: shared-FS path → node-local staged path.
+    staged_paths: Dict[str, str] = field(default_factory=dict)
+
+    def by_action(self, action: str) -> List[PlanStep]:
+        return [s for s in self.steps if s.action == action]
+
+    def scheduler(self) -> PinnedScheduler:
+        """A placement policy enforcing the plan's co-scheduling pins."""
+        return PinnedScheduler(dict(self.pins))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stage_in_all(self, fs: SimFS) -> Dict[str, str]:
+        """Perform every ``stage_in`` step; returns original→staged paths."""
+        for step in self.by_action("stage_in"):
+            staged = self.staged_paths[step.target]
+            stage_in(fs, step.target, staged)
+        return dict(self.staged_paths)
+
+    def stage_out_all(self, fs: SimFS, dst_dir: str) -> List[str]:
+        """Perform every ``stage_out`` step into ``dst_dir``."""
+        moved = []
+        for step in self.by_action("stage_out"):
+            if not fs.exists(step.target):
+                continue
+            name = step.target.rsplit("/", 1)[-1]
+            moved.append(stage_out(fs, step.target,
+                                   f"{dst_dir.rstrip('/')}/{name}",
+                                   remove_src=False))
+        return moved
+
+    def apply_format_changes(self, fs: SimFS, suffix: str = ".opt.h5") -> Dict[str, str]:
+        """Execute the layout/consolidation rewrites; returns old→new paths.
+
+        Rewrites are written beside the originals (``<file><suffix>``) so
+        callers can swap paths atomically per task.
+        """
+        rewritten: Dict[str, str] = {}
+        for step in self.steps:
+            if step.target in rewritten or not fs.exists(step.target):
+                continue
+            dst = step.target + suffix
+            if step.action == "convert_contiguous":
+                convert_layout(fs, step.target, dst, layout="contiguous")
+            elif step.action == "convert_chunked":
+                convert_layout(fs, step.target, dst, layout="chunked")
+            elif step.action == "consolidate":
+                consolidate_datasets(fs, step.target, dst)
+            else:
+                continue
+            rewritten[step.target] = dst
+        return rewritten
+
+    def resolve(self, path: str) -> str:
+        """The path a task should open: the staged replica when one exists."""
+        return self.staged_paths.get(path, path)
+
+    def summary(self) -> str:
+        if not self.steps:
+            return "Nothing to optimize."
+        lines = [f"Optimization plan ({len(self.steps)} steps):"]
+        for step in self.steps:
+            detail = f" [{step.detail}]" if step.detail else ""
+            lines.append(f"  {step.action:<19} {step.target}{detail}")
+        return "\n".join(lines)
+
+
+def build_plan(
+    report: DiagnosticReport,
+    cluster: Cluster,
+    *,
+    target_node: Optional[str] = None,
+    local_tier: Optional[str] = None,
+) -> OptimizationPlan:
+    """Compile a diagnostic report into an executable plan.
+
+    Args:
+        report: Findings from :func:`repro.diagnostics.diagnose`.
+        cluster: The cluster the optimized run will use.
+        target_node: Node to co-schedule onto (default: first node).
+        local_tier: Node-local tier for staging (default: the node's first
+            tier).
+    """
+    node = target_node or cluster.node_names()[0]
+    tiers = list(cluster.node(node).local_tiers)
+    if not tiers:
+        raise ValueError(f"node {node!r} has no local storage tier to stage to")
+    tier = local_tier or tiers[0]
+    local = Cluster.local_prefix(node, tier)
+    plan = OptimizationPlan()
+    staged: Set[str] = set()
+    pinned: Set[str] = set()
+    converted: Set[str] = set()
+
+    def stage(path: str, why: str) -> None:
+        if path in staged:
+            return
+        staged.add(path)
+        name = path.strip("/").replace("/", "_")
+        plan.staged_paths[path] = f"{local}/{name}"
+        plan.steps.append(PlanStep("stage_in", path, detail=f"{node}:{tier}",
+                                   rationale=why))
+
+    def pin(tasks, why: str) -> None:
+        for task in tasks:
+            if task not in pinned:
+                pinned.add(task)
+                plan.pins[task] = node
+                plan.steps.append(PlanStep("pin", task, detail=node,
+                                           rationale=why))
+
+    for insight in report.insights:
+        if insight.kind in (InsightKind.DATA_REUSE, InsightKind.READ_AFTER_WRITE):
+            if insight.subject.startswith("/"):
+                file = insight.subject.split(":", 1)[0]
+                stage(file, insight.description)
+            pin(insight.tasks, insight.description)
+        elif insight.kind in (InsightKind.TIME_DEPENDENT_INPUT,
+                              InsightKind.READONLY_SEQUENTIAL):
+            if insight.kind is InsightKind.TIME_DEPENDENT_INPUT:
+                stage(insight.subject, insight.description)
+            pin(insight.tasks, insight.description)
+        elif insight.kind is InsightKind.DISPOSABLE_DATA:
+            plan.steps.append(PlanStep("stage_out", insight.subject,
+                                       rationale=insight.description))
+        elif insight.kind is InsightKind.DATA_SCATTERING:
+            if insight.subject not in converted:
+                converted.add(insight.subject)
+                plan.steps.append(PlanStep("consolidate", insight.subject,
+                                           rationale=insight.description))
+        elif insight.kind is InsightKind.METADATA_OVERHEAD:
+            file = insight.subject.split(":", 1)[0]
+            if file not in converted:
+                converted.add(file)
+                plan.steps.append(PlanStep("convert_contiguous", file,
+                                           rationale=insight.description))
+        elif insight.kind is InsightKind.VLEN_LAYOUT:
+            file = insight.subject.split(":", 1)[0]
+            if file not in converted:
+                converted.add(file)
+                plan.steps.append(PlanStep("convert_chunked", file,
+                                           rationale=insight.description))
+        # PARTIAL_FILE_ACCESS and TASK_INDEPENDENCE need application-side
+        # changes (skip datasets, restructure stages); they are reported by
+        # the guidelines engine but have no file-level executable step.
+    return plan

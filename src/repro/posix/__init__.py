@@ -1,0 +1,12 @@
+"""Simulated POSIX I/O layer.
+
+The lowest layer DaYu observes is POSIX I/O ("the low level (e.g. POSIX)
+I/O behavior" of the paper's Table II).  :class:`~repro.posix.simfs.SimFS`
+provides open/pread/pwrite/close semantics over the storage substrate,
+charging every operation's cost to the simulated clock through the owning
+mount's device model.
+"""
+
+from repro.posix.simfs import FileStat, OpRecord, SimFS
+
+__all__ = ["SimFS", "FileStat", "OpRecord"]

@@ -1,0 +1,36 @@
+"""Simulated storage substrate.
+
+The paper evaluates DaYu on two clusters (its Table III) whose nodes expose a
+mix of node-local devices (NVMe, SATA SSD, HDD) and shared mounts (NFS,
+BeeGFS).  This package provides first-order performance models of those
+devices plus the byte-addressable stores and mounts the simulated POSIX
+layer is built on.
+
+Public surface:
+    - :class:`~repro.storage.devices.DeviceSpec` /
+      :class:`~repro.storage.devices.StorageDevice` — per-op cost model.
+    - :data:`~repro.storage.devices.DEVICE_CATALOG` — calibrated devices.
+    - :class:`~repro.storage.blockstore.BlockStore` — backing bytes.
+    - :class:`~repro.storage.mount.Mount` — a named namespace bound to a
+      device, either node-local or shared.
+"""
+
+from repro.storage.blockstore import BlockStore
+from repro.storage.devices import (
+    DEVICE_CATALOG,
+    DeviceSpec,
+    IoCounters,
+    StorageDevice,
+    make_device,
+)
+from repro.storage.mount import Mount
+
+__all__ = [
+    "BlockStore",
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "IoCounters",
+    "StorageDevice",
+    "Mount",
+    "make_device",
+]

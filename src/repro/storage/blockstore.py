@@ -1,0 +1,96 @@
+"""Byte-addressable backing store for simulated files.
+
+A :class:`BlockStore` holds the actual bytes of one simulated file.  It is a
+sparse, growable byte array: writes beyond the current end implicitly extend
+the store (zero-filled), matching POSIX file semantics.  The store knows
+nothing about cost — timing lives in the device model — but it does track
+the file's *extent history* so tests can assert on physical layout
+(fragmentation is a first-class subject of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["BlockStore"]
+
+
+class BlockStore:
+    """Sparse growable byte storage for one simulated file."""
+
+    def __init__(self, initial_size: int = 0) -> None:
+        if initial_size < 0:
+            raise ValueError("initial_size must be non-negative")
+        self._buf = bytearray(initial_size)
+        self._write_extents: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Size
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current end-of-file offset in bytes."""
+        return len(self._buf)
+
+    def truncate(self, size: int) -> None:
+        """Grow (zero-fill) or shrink the store to exactly ``size`` bytes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size < len(self._buf):
+            del self._buf[size:]
+        else:
+            self._buf.extend(b"\x00" * (size - len(self._buf)))
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, growing the store if needed."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        end = offset + len(data)
+        if end > len(self._buf):
+            self._buf.extend(b"\x00" * (end - len(self._buf)))
+        self._buf[offset:end] = data
+        if data:
+            self._write_extents.append((offset, len(data)))
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Read exactly ``nbytes`` starting at ``offset``.
+
+        Reads crossing end-of-file return only the available bytes, like
+        POSIX ``read(2)``; a read entirely past EOF returns ``b""``.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset and nbytes must be non-negative")
+        return bytes(self._buf[offset : offset + nbytes])
+
+    # ------------------------------------------------------------------
+    # Layout introspection
+    # ------------------------------------------------------------------
+    @property
+    def write_extents(self) -> List[Tuple[int, int]]:
+        """Chronological list of (offset, length) for every write."""
+        return list(self._write_extents)
+
+    def coalesced_extents(self) -> List[Tuple[int, int]]:
+        """Written regions merged into maximal disjoint (offset, length) runs.
+
+        Useful for asserting how fragmented a file's physical layout is.
+        """
+        if not self._write_extents:
+            return []
+        spans = sorted((off, off + ln) for off, ln in self._write_extents)
+        merged: List[Tuple[int, int]] = []
+        cur_start, cur_end = spans[0]
+        for start, end in spans[1:]:
+            if start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                merged.append((cur_start, cur_end - cur_start))
+                cur_start, cur_end = start, end
+        merged.append((cur_start, cur_end - cur_start))
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,54 @@
+"""Mount points: a namespace prefix bound to a storage device.
+
+A simulated cluster node sees several mounts — a shared parallel-filesystem
+mount visible from every node and node-local mounts (NVMe / SATA / HDD).
+The :class:`~repro.posix.simfs.SimFS` routes each path to the mount with the
+longest matching prefix, exactly like a real VFS mount table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.devices import StorageDevice
+
+__all__ = ["Mount"]
+
+
+@dataclass
+class Mount:
+    """A path prefix served by one device.
+
+    Attributes:
+        prefix: Absolute path prefix, normalized without a trailing slash
+            (the root mount uses ``"/"``).
+        device: The :class:`StorageDevice` whose cost model applies to all
+            files under this prefix.
+        node: Name of the node the mount is local to, or ``None`` for a
+            shared mount reachable from every node.
+    """
+
+    prefix: str
+    device: StorageDevice
+    node: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prefix.startswith("/"):
+            raise ValueError(f"mount prefix must be absolute, got {self.prefix!r}")
+        if self.prefix != "/" and self.prefix.endswith("/"):
+            self.prefix = self.prefix.rstrip("/")
+
+    @property
+    def shared(self) -> bool:
+        """True when the mount is visible from every node."""
+        return self.node is None
+
+    def matches(self, path: str) -> bool:
+        """True when ``path`` lives under this mount."""
+        if self.prefix == "/":
+            return path.startswith("/")
+        return path == self.prefix or path.startswith(self.prefix + "/")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "shared" if self.shared else f"node={self.node}"
+        return f"Mount({self.prefix!r}, {self.device.spec.name}, {where})"

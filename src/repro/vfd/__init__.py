@@ -1,0 +1,35 @@
+"""Virtual File Driver (VFD) layer.
+
+HDF5 performs all of its file I/O through a pluggable driver abstraction —
+the Virtual File Driver.  DaYu's low-level profiler is implemented as a VFD
+plugin wrapped around the real driver.  This package reproduces that stack:
+
+- :class:`~repro.vfd.base.VirtualFileDriver` — the driver interface the
+  HDF5-like format layer programs against.  Every call is tagged with an
+  :class:`~repro.vfd.base.IoClass` so metadata and raw-data I/O are
+  distinguishable (parameter 6 of the paper's Table II).
+- :class:`~repro.vfd.sec2.Sec2VFD` — the "sec2"-style POSIX driver over the
+  simulated filesystem.
+- :class:`~repro.vfd.tracing.TracingVFD` /
+  :class:`~repro.vfd.tracing.VfdTracer` — DaYu's VFD profiler, recording the
+  file-level semantics of Table II.
+- :class:`~repro.vfd.channel.VolVfdChannel` — the shared-memory channel
+  through which the VOL layer tells the VFD layer which data object the
+  current I/O belongs to.
+"""
+
+from repro.vfd.base import IoClass, VirtualFileDriver
+from repro.vfd.channel import VolVfdChannel
+from repro.vfd.sec2 import Sec2VFD
+from repro.vfd.tracing import FileSession, TracingVFD, VfdIoRecord, VfdTracer
+
+__all__ = [
+    "IoClass",
+    "VirtualFileDriver",
+    "VolVfdChannel",
+    "Sec2VFD",
+    "TracingVFD",
+    "VfdTracer",
+    "VfdIoRecord",
+    "FileSession",
+]

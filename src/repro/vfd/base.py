@@ -1,0 +1,53 @@
+"""The Virtual File Driver interface.
+
+The HDF5-like format layer (:mod:`repro.hdf5`) addresses a flat "file
+address space" and never touches the filesystem directly; it issues reads
+and writes through a :class:`VirtualFileDriver`.  Each operation carries an
+:class:`IoClass` declaring whether the bytes are *format metadata*
+(superblock, object headers, B-tree nodes, heaps) or *raw dataset data*.
+That classification is what lets DaYu "categorize I/O operations into
+metadata and raw data operations" (paper, Section IV).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+__all__ = ["IoClass", "VirtualFileDriver"]
+
+
+class IoClass(enum.Enum):
+    """Classification of an I/O operation at the VFD boundary."""
+
+    METADATA = "metadata"
+    RAW = "raw"
+
+
+class VirtualFileDriver(abc.ABC):
+    """Abstract driver for a single open file's address space."""
+
+    @property
+    @abc.abstractmethod
+    def path(self) -> str:
+        """Path of the underlying file."""
+
+    @abc.abstractmethod
+    def read(self, addr: int, nbytes: int, io_class: IoClass) -> bytes:
+        """Read ``nbytes`` at file address ``addr``."""
+
+    @abc.abstractmethod
+    def write(self, addr: int, data: bytes, io_class: IoClass) -> None:
+        """Write ``data`` at file address ``addr``."""
+
+    @abc.abstractmethod
+    def get_eof(self) -> int:
+        """Current end-of-file address (one past the last byte)."""
+
+    @abc.abstractmethod
+    def truncate(self, size: int) -> None:
+        """Set the file size to exactly ``size`` bytes."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the underlying descriptor.  Idempotent."""

@@ -1,0 +1,28 @@
+"""Virtual Object Layer (VOL).
+
+HDF5 routes every *object-level* operation — file open, dataset create/
+open/read/write/close, attribute access — through the Virtual Object Layer.
+DaYu's high-level profiler is a VOL plugin; this package reproduces it:
+
+- :class:`~repro.vol.tracer.VolTracer` collects the object-level semantics
+  of the paper's Table I (task/file relationship, object lifetimes,
+  object descriptions, object accesses), deferring per-object log emission
+  until the owning file closes (the behaviour the paper calls out when
+  explaining its corner-case overhead).
+- :class:`~repro.vol.objects.VolFile` / ``VolGroup`` / ``VolDataset`` wrap
+  the format-layer objects, announce the active data object to the VFD
+  profiler through the shared :class:`~repro.vfd.channel.VolVfdChannel`,
+  and feed the tracer.
+"""
+
+from repro.vol.objects import VolDataset, VolFile, VolGroup
+from repro.vol.tracer import DataObjectProfile, VolCosts, VolTracer
+
+__all__ = [
+    "VolFile",
+    "VolGroup",
+    "VolDataset",
+    "VolTracer",
+    "VolCosts",
+    "DataObjectProfile",
+]

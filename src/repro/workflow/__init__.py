@@ -1,0 +1,30 @@
+"""The workflow execution engine.
+
+Distributed scientific workflows are stages of tasks with data dependencies
+carried through shared files.  This package provides:
+
+- :class:`~repro.workflow.model.Task` / ``Stage`` / ``Workflow`` — the
+  workflow description;
+- :mod:`~repro.workflow.scheduler` — placement policies, including the
+  co-scheduling moves DaYu's analysis recommends;
+- :class:`~repro.workflow.runner.WorkflowRunner` — executes the workflow
+  on a simulated cluster under DaYu profiling, modelling parallel-stage
+  wall-clock as the max of task durations with device contention applied.
+"""
+
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import StageResult, TaskRuntime, WorkflowResult, WorkflowRunner
+from repro.workflow.scheduler import CoLocateScheduler, PinnedScheduler, RoundRobinScheduler
+
+__all__ = [
+    "Task",
+    "Stage",
+    "Workflow",
+    "WorkflowRunner",
+    "WorkflowResult",
+    "StageResult",
+    "TaskRuntime",
+    "RoundRobinScheduler",
+    "PinnedScheduler",
+    "CoLocateScheduler",
+]

@@ -1,0 +1,76 @@
+"""Workflow description: tasks, stages, workflows.
+
+A *task* is a named unit of work — a Python callable receiving a
+:class:`~repro.workflow.runner.TaskRuntime` — optionally with a modeled
+compute phase.  A *stage* is a logical grouping of tasks "designed to
+achieve distinct milestones within a larger process" (the paper's term);
+tasks within a stage may run in parallel across the cluster.  A *workflow*
+is an ordered list of stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Task", "Stage", "Workflow"]
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes:
+        name: Unique name within the workflow (DaYu keys its per-task
+            profiles by this).
+        fn: The task body, called as ``fn(runtime)``.
+        compute_seconds: Modeled compute time charged before the body's
+            I/O completes (simulation of the non-I/O work).
+    """
+
+    name: str
+    fn: Callable[["TaskRuntime"], None]  # noqa: F821 - runner type
+    compute_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds < 0:
+            raise ValueError(f"task {self.name}: negative compute time")
+
+
+@dataclass
+class Stage:
+    """A logical grouping of tasks; parallel stages fan out across nodes."""
+
+    name: str
+    tasks: List[Task] = field(default_factory=list)
+    parallel: bool = True
+
+    def add(self, task: Task) -> "Stage":
+        self.tasks.append(task)
+        return self
+
+
+@dataclass
+class Workflow:
+    """An ordered pipeline of stages."""
+
+    name: str
+    stages: List[Stage] = field(default_factory=list)
+
+    def add_stage(self, stage: Stage) -> "Workflow":
+        self.stages.append(stage)
+        return self
+
+    def all_tasks(self) -> List[Task]:
+        return [t for s in self.stages for t in s.tasks]
+
+    def validate(self) -> None:
+        """Check structural invariants (unique task names, non-empty)."""
+        names = [t.name for t in self.all_tasks()]
+        if not names:
+            raise ValueError(f"workflow {self.name!r} has no tasks")
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(
+                f"workflow {self.name!r} has duplicate task names: {sorted(dupes)}"
+            )

@@ -1,0 +1,80 @@
+"""Task placement policies.
+
+The baseline is round-robin spreading; DaYu's analysis enables smarter
+moves — the paper co-schedules PyFLEXTRKR's stages 3-5 onto the node that
+produced their shared data, turning shared-filesystem traffic into
+node-local access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol
+
+from repro.cluster.cluster import Cluster
+from repro.workflow.model import Stage
+
+__all__ = ["Scheduler", "RoundRobinScheduler", "PinnedScheduler", "CoLocateScheduler"]
+
+
+class Scheduler(Protocol):
+    """Maps each task of a stage to a node name."""
+
+    def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
+        """Return task name → node name for every task in ``stage``."""
+        ...
+
+
+class RoundRobinScheduler:
+    """Spread tasks across nodes in order — the workload-agnostic baseline."""
+
+    def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
+        nodes: List[str] = cluster.node_names()
+        return {
+            task.name: nodes[i % len(nodes)]
+            for i, task in enumerate(stage.tasks)
+        }
+
+
+class PinnedScheduler:
+    """Explicit task → node pinning; unpinned tasks fall back to round-robin.
+
+    Args:
+        pins: Task name → node name.
+    """
+
+    def __init__(self, pins: Dict[str, str]) -> None:
+        self.pins = dict(pins)
+        self._fallback = RoundRobinScheduler()
+
+    def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
+        placement = self._fallback.place(stage, cluster)
+        for task in stage.tasks:
+            pin = self.pins.get(task.name)
+            if pin is not None:
+                if pin not in cluster.nodes:
+                    raise KeyError(f"pinned node {pin!r} not in cluster")
+                placement[task.name] = pin
+        return placement
+
+
+class CoLocateScheduler:
+    """Place every task of the named stages on one node — DaYu's
+    co-scheduling recommendation for producer/consumer stage chains.
+
+    Args:
+        stages: Stage names to co-locate.
+        node: Target node (defaults to the cluster's first node).
+    """
+
+    def __init__(self, stages: List[str], node: str | None = None) -> None:
+        self.stages = set(stages)
+        self.node = node
+        self._fallback = RoundRobinScheduler()
+
+    def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
+        if stage.name in self.stages:
+            node = self.node or cluster.node_names()[0]
+            if node not in cluster.nodes:
+                raise KeyError(f"co-locate node {node!r} not in cluster")
+            return {task.name: node for task in stage.tasks}
+        return self._fallback.place(stage, cluster)

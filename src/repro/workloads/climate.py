@@ -1,0 +1,116 @@
+"""A climate-analysis workflow over the netCDF-like format.
+
+PyFLEXTRKR's upstream data actually arrives as netCDF; this workload
+exercises DaYu's netCDF path end to end with the classic climate pattern:
+
+1. **simulate** — parallel model tasks, each appending per-timestep
+   records (temperature, pressure) to its own ``.nc`` file — the
+   record-interleaved layout whose scattered I/O DaYu decodes;
+2. **regrid** — reads every simulation file (whole record variables =
+   one operation per record) and writes a fixed-variable merged file;
+3. **statistics** — reads the merged file and writes summary scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["ClimateParams", "build_climate"]
+
+
+@dataclass(frozen=True)
+class ClimateParams:
+    """Workload scale knobs.
+
+    Attributes:
+        data_dir: Shared working directory.
+        n_models: Parallel simulation tasks (ensemble members).
+        timesteps: Records each member appends.
+        cells: Grid cells per record.
+        compute_seconds: Modeled compute per task.
+    """
+
+    data_dir: str = "/pfs/climate"
+    n_models: int = 4
+    timesteps: int = 8
+    cells: int = 256
+    compute_seconds: float = 0.02
+
+    def member_file(self, i: int) -> str:
+        return f"{self.data_dir}/member_{i:03d}.nc"
+
+    @property
+    def merged_file(self) -> str:
+        return f"{self.data_dir}/merged.nc"
+
+    @property
+    def stats_file(self) -> str:
+        return f"{self.data_dir}/stats.nc"
+
+
+def build_climate(params: ClimateParams) -> Workflow:
+    """Assemble the three-stage climate workflow."""
+    p = params
+
+    def simulate(member: int):
+        def fn(rt: TaskRuntime) -> None:
+            rng = np.random.default_rng(member)
+            f = rt.open_netcdf(p.member_file(member), "w")
+            f.create_dimension("time", None)
+            f.create_dimension("cell", p.cells)
+            f.set_att("member", member)
+            temp = f.create_variable("temperature", "f4", ["time", "cell"])
+            temp.set_att("units", "K")
+            pres = f.create_variable("pressure", "f4", ["time", "cell"])
+            f.enddef()
+            for t in range(p.timesteps):
+                temp.write_record(t, 250.0 + rng.random(p.cells, dtype=np.float32) * 60)
+                pres.write_record(t, 900.0 + rng.random(p.cells, dtype=np.float32) * 200)
+            f.close()
+        return fn
+
+    stage1 = Stage("simulate", [
+        Task(f"model_{i:03d}", simulate(i), compute_seconds=p.compute_seconds)
+        for i in range(p.n_models)
+    ])
+
+    def regrid(rt: TaskRuntime) -> None:
+        fields = []
+        for i in range(p.n_models):
+            f = rt.open_netcdf(p.member_file(i), "r")
+            fields.append(f.variable("temperature").read())
+            f.close()
+        mean = np.mean(np.stack(fields), axis=0).astype(np.float32)
+        out = rt.open_netcdf(p.merged_file, "w")
+        out.create_dimension("time", p.timesteps)
+        out.create_dimension("cell", p.cells)
+        merged = out.create_variable("mean_temperature", "f4", ["time", "cell"])
+        out.enddef()
+        merged.write(mean)
+        out.close()
+
+    stage2 = Stage("regrid", [
+        Task("regrid", regrid, compute_seconds=p.compute_seconds * 2)
+    ], parallel=False)
+
+    def statistics(rt: TaskRuntime) -> None:
+        f = rt.open_netcdf(p.merged_file, "r")
+        mean = f.variable("mean_temperature").read()
+        f.close()
+        out = rt.open_netcdf(p.stats_file, "w")
+        out.create_dimension("metric", 3)
+        stats = out.create_variable("summary", "f8", ["metric"])
+        out.enddef()
+        stats.write(np.array([mean.min(), mean.mean(), mean.max()]))
+        out.close()
+
+    stage3 = Stage("statistics", [
+        Task("statistics", statistics, compute_seconds=p.compute_seconds)
+    ], parallel=False)
+
+    return Workflow("climate", [stage1, stage2, stage3])

@@ -1,0 +1,80 @@
+"""The corner-case Python benchmark: DaYu's worst-case overhead driver.
+
+The paper's custom benchmark "creates a corner-case scenario with an
+unusually large number (200) of datasets stored in a small file", then
+repeatedly re-reads them within a single task: every open/close and access
+hits DaYu's trackers while moving almost no data, so the profilers' fixed
+per-event costs dominate — the regime of Figures 9c-d and 10b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["CornerCaseParams", "build_corner_case"]
+
+
+@dataclass(frozen=True)
+class CornerCaseParams:
+    """Benchmark configuration.
+
+    Attributes:
+        data_dir: Target directory.
+        n_datasets: Datasets in the file (paper: 200).
+        file_bytes: Total raw data across all datasets (paper: 200 MB).
+        read_repeats: Times each dataset is re-read after creation — the
+            swept axis of Figure 9c (dataset I/O operation count).
+    """
+
+    data_dir: str = "/pfs/corner"
+    n_datasets: int = 200
+    file_bytes: int = 2 << 20
+    read_repeats: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_datasets < 1 or self.file_bytes < self.n_datasets * 4:
+            raise ValueError("corner-case parameters too small")
+        if self.read_repeats < 0:
+            raise ValueError("read_repeats must be non-negative")
+
+    @property
+    def out_file(self) -> str:
+        return f"{self.data_dir}/corner_case.h5"
+
+    @property
+    def elems_per_dataset(self) -> int:
+        return max(self.file_bytes // (4 * self.n_datasets), 1)
+
+    @property
+    def dataset_io_operations(self) -> int:
+        """Total dataset-level accesses (the Figure 9c x-axis)."""
+        return self.n_datasets * (1 + self.read_repeats)
+
+
+def build_corner_case(params: CornerCaseParams) -> Workflow:
+    """One task: create ``n_datasets`` datasets, then re-read them all
+    ``read_repeats`` times (fresh handle each time → open/close churn)."""
+    p = params
+
+    def body(rt: TaskRuntime) -> None:
+        rng = np.random.default_rng(0)
+        f = rt.open(p.out_file, "w")
+        payload = rng.random(p.elems_per_dataset, dtype=np.float32)
+        for d in range(p.n_datasets):
+            f.create_dataset(f"d{d:04d}", shape=(p.elems_per_dataset,),
+                             dtype="f4", data=payload)
+        for _ in range(p.read_repeats):
+            for d in range(p.n_datasets):
+                # Fresh lookup per read: each is an object open + access +
+                # close, the pattern that stresses the Access Tracker.
+                f[f"d{d:04d}"].read()
+        f.close()
+
+    return Workflow("corner_case", [
+        Stage("corner", [Task("corner_case", body)], parallel=False)
+    ])

@@ -1,0 +1,229 @@
+"""DeepDriveMD (DDMD): the simulation / ML-training / inference loop.
+
+Reproduces the dataflow of the paper's Figure 6 per iteration:
+
+1. **openmm** — 12 parallel simulation tasks, each writing
+   ``stage{iter:04d}_task{i:04d}.h5`` with four *chunked* datasets
+   (``contact_map`` by far the largest, ``point_cloud``, ``fnc``,
+   ``rmsd``) — the chunked-small-file inefficiency of Figure 13b.
+2. **aggregate** — reads every simulation file sequentially and
+   consolidates the four datasets (unmodified) into ``aggregated.h5``.
+3. **training** — reads three of the four aggregated datasets but only
+   *opens* ``contact_map`` (metadata-only access, Figure 7's pop-up);
+   reads one simulation file's contact_map directly; writes ten
+   ``embeddings-epoch-N`` files and re-reads epochs 5 and 10
+   (read-after-write reuse); writes the model.
+4. **inference** — reads all simulation data plus the model (no HDF5
+   dependency on training's other outputs), writing
+   ``virtual_stage{iter:04d}_task0000.h5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["DdmdParams", "build_ddmd"]
+
+
+@dataclass(frozen=True)
+class DdmdParams:
+    """Workload scale knobs (defaults test-sized).
+
+    Attributes:
+        data_dir: Shared working directory.
+        n_sim_tasks: Parallel OpenMM simulations per iteration (paper: 12).
+        frames: Simulation frames; dataset sizes scale with this.
+        iterations: Pipeline iterations (paper evaluates 5).
+        epochs: Training epochs → embedding files (paper shows 10).
+        layout: Dataset layout for simulation outputs (paper default:
+            ``"chunked"``; the Figure 13b fix uses ``"contiguous"``).
+        chunk_elems: Chunk length when chunked.
+        compute_seconds: Modeled compute per task.
+    """
+
+    data_dir: str = "/pfs/ddmd"
+    n_sim_tasks: int = 12
+    frames: int = 64
+    iterations: int = 1
+    epochs: int = 10
+    layout: str = "chunked"
+    chunk_elems: int = 64
+    compute_seconds: float = 0.05
+
+    # Dataset shapes: contact_map dominates (the paper's "largest volume").
+    @property
+    def contact_map_elems(self) -> int:
+        return self.frames * 64
+
+    @property
+    def point_cloud_elems(self) -> int:
+        return self.frames * 16
+
+    @property
+    def scalar_elems(self) -> int:
+        return self.frames
+
+    def sim_file(self, iteration: int, task: int) -> str:
+        return f"{self.data_dir}/stage{iteration:04d}_task{task:04d}.h5"
+
+    def aggregated(self, iteration: int) -> str:
+        return f"{self.data_dir}/aggregated_{iteration:04d}.h5"
+
+    def embeddings(self, iteration: int, epoch: int) -> str:
+        return f"{self.data_dir}/embeddings-epoch-{epoch}-iter{iteration:04d}.h5"
+
+    def model(self, iteration: int) -> str:
+        return f"{self.data_dir}/model_{iteration:04d}.h5"
+
+    def inference_out(self, iteration: int) -> str:
+        return f"{self.data_dir}/virtual_stage{iteration:04d}_task0000.h5"
+
+
+_DATASETS = ("contact_map", "point_cloud", "fnc", "rmsd")
+
+
+def _sizes(p: DdmdParams) -> dict:
+    return {
+        "contact_map": p.contact_map_elems,
+        "point_cloud": p.point_cloud_elems,
+        "fnc": p.scalar_elems,
+        "rmsd": p.scalar_elems,
+    }
+
+
+def _layout_kwargs(p: DdmdParams, elems: int) -> dict:
+    if p.layout == "chunked":
+        return {"layout": "chunked", "chunks": (min(p.chunk_elems, elems),)}
+    return {"layout": p.layout}
+
+
+def build_ddmd(params: DdmdParams) -> Workflow:
+    """Assemble the DDMD pipeline (self-contained: simulations create
+    their own inputs)."""
+    p = params
+    wf = Workflow("ddmd")
+    for iteration in range(p.iterations):
+        wf.add_stage(_openmm_stage(p, iteration))
+        wf.add_stage(_aggregate_stage(p, iteration))
+        wf.add_stage(_training_stage(p, iteration))
+        wf.add_stage(_inference_stage(p, iteration))
+    return wf
+
+
+def _openmm_stage(p: DdmdParams, iteration: int) -> Stage:
+    def openmm(task_idx: int):
+        def fn(rt: TaskRuntime) -> None:
+            rng = np.random.default_rng(1000 * iteration + task_idx)
+            f = rt.open(p.sim_file(iteration, task_idx), "w")
+            for name, elems in _sizes(p).items():
+                f.create_dataset(
+                    name, shape=(elems,), dtype="f4",
+                    data=rng.random(elems, dtype=np.float32),
+                    **_layout_kwargs(p, elems),
+                )
+            f.close()
+        return fn
+
+    return Stage(f"openmm_{iteration:04d}", [
+        Task(f"openmm_{iteration:04d}_{i:04d}", openmm(i),
+             compute_seconds=p.compute_seconds)
+        for i in range(p.n_sim_tasks)
+    ])
+
+
+def _aggregate_stage(p: DdmdParams, iteration: int) -> Stage:
+    def aggregate(rt: TaskRuntime) -> None:
+        collected = {name: [] for name in _DATASETS}
+        for i in range(p.n_sim_tasks):
+            f = rt.open(p.sim_file(iteration, i), "r")
+            for name in _DATASETS:
+                collected[name].append(f[name].read())
+            f.close()
+        out = rt.open(p.aggregated(iteration), "w")
+        for name in _DATASETS:
+            merged = np.concatenate(collected[name])
+            out.create_dataset(
+                name, shape=(merged.size,), dtype="f4", data=merged,
+                **_layout_kwargs(p, merged.size),
+            )
+        out.close()
+
+    return Stage(
+        f"aggregate_{iteration:04d}",
+        [Task(f"aggregate_{iteration:04d}", aggregate,
+              compute_seconds=p.compute_seconds)],
+        parallel=False,
+    )
+
+
+def _training_stage(p: DdmdParams, iteration: int) -> Stage:
+    def training(rt: TaskRuntime) -> None:
+        rng = np.random.default_rng(500 + iteration)
+        agg = rt.open(p.aggregated(iteration), "r")
+        # The paper's key finding: contact_map is opened (metadata only)
+        # but its data is never read from the aggregated file...
+        _ = agg["contact_map"].shape
+        for name in ("point_cloud", "fnc", "rmsd"):
+            agg[name].read()
+        agg.close()
+        # ...the contact_map data training does use comes from one
+        # simulation output directly (Figure 7, circle 2).
+        sim = rt.open(p.sim_file(iteration, 0), "r")
+        sim["contact_map"].read()
+        sim.close()
+        # Epoch loop: write an embeddings file per epoch.
+        emb_elems = p.point_cloud_elems
+        for epoch in range(1, p.epochs + 1):
+            f = rt.open(p.embeddings(iteration, epoch), "w")
+            f.create_dataset(
+                "embeddings", shape=(emb_elems,), dtype="f4",
+                data=rng.random(emb_elems, dtype=np.float32),
+                **_layout_kwargs(p, emb_elems),
+            )
+            f.close()
+        # Read-after-write reuse of specific embedding files (5 and 10).
+        for epoch in (5, 10):
+            if epoch <= p.epochs:
+                f = rt.open(p.embeddings(iteration, epoch), "r")
+                f["embeddings"].read()
+                f.close()
+        model = rt.open(p.model(iteration), "w")
+        model.create_dataset("weights", shape=(p.frames,), dtype="f4",
+                             data=rng.random(p.frames, dtype=np.float32))
+        model.close()
+
+    return Stage(
+        f"training_{iteration:04d}",
+        [Task(f"training_{iteration:04d}", training,
+              compute_seconds=p.compute_seconds * 4)],
+        parallel=False,
+    )
+
+
+def _inference_stage(p: DdmdParams, iteration: int) -> Stage:
+    def inference(rt: TaskRuntime) -> None:
+        for i in range(p.n_sim_tasks):
+            f = rt.open(p.sim_file(iteration, i), "r")
+            for name in _DATASETS:
+                f[name].read()
+            f.close()
+        model = rt.open(p.model(iteration), "r")
+        model["weights"].read()
+        model.close()
+        out = rt.open(p.inference_out(iteration), "w")
+        out.create_dataset("outliers", shape=(p.frames,), dtype="i4",
+                           data=np.zeros(p.frames, dtype=np.int32))
+        out.close()
+
+    return Stage(
+        f"inference_{iteration:04d}",
+        [Task(f"inference_{iteration:04d}", inference,
+              compute_seconds=p.compute_seconds * 2)],
+        parallel=False,
+    )

@@ -1,0 +1,187 @@
+"""An h5bench-style parallel I/O kernel.
+
+The paper uses the h5bench suite as "a representative parallel I/O
+benchmark designed for large-scale HDF5 workflows" to drive its overhead
+scaling study (Figures 9a-b, 10a).  This module provides the equivalent
+write and read kernels: N parallel processes (tasks), each moving a fixed
+volume through large contiguous datasets — the data-heavy, metadata-light
+regime where DaYu's relative overhead is smallest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["H5benchParams", "build_h5bench_write", "build_h5bench_read"]
+
+
+@dataclass(frozen=True)
+class H5benchParams:
+    """Kernel configuration.
+
+    Attributes:
+        data_dir: Target directory (typically a shared mount).
+        n_procs: Parallel writer/reader processes.
+        bytes_per_proc: Data volume each process moves.
+        ops_per_proc: I/O operations the volume is split into (h5bench's
+            time-step writes).
+        read_pattern: ``"full"`` (whole-dataset scans), ``"partial"``
+            (a contiguous fraction of each dataset), or ``"strided"``
+            (h5bench's strided access: fixed-size blocks at a stride).
+        partial_fraction: Fraction of each dataset a partial read covers.
+        stride_blocks: Blocks per dataset in the strided pattern.
+    """
+
+    data_dir: str = "/pfs/h5bench"
+    n_procs: int = 4
+    bytes_per_proc: int = 1 << 20
+    ops_per_proc: int = 8
+    read_pattern: str = "full"
+    partial_fraction: float = 0.25
+    stride_blocks: int = 4
+    #: MPI-IO style: all processes share one file, each writing/reading its
+    #: own hyperslab of per-timestep datasets (h5bench's default mode).
+    shared_file: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1 or self.bytes_per_proc < 1 or self.ops_per_proc < 1:
+            raise ValueError("h5bench parameters must be positive")
+        if self.read_pattern not in ("full", "partial", "strided"):
+            raise ValueError(f"unknown read pattern {self.read_pattern!r}")
+        if not (0.0 < self.partial_fraction <= 1.0):
+            raise ValueError("partial_fraction must be in (0, 1]")
+        if self.stride_blocks < 1:
+            raise ValueError("stride_blocks must be >= 1")
+
+    def file_for(self, proc: int) -> str:
+        if self.shared_file:
+            return self.shared_path
+        return f"{self.data_dir}/h5bench_proc{proc:04d}.h5"
+
+    @property
+    def shared_path(self) -> str:
+        return f"{self.data_dir}/h5bench_shared.h5"
+
+    @property
+    def elems_per_op(self) -> int:
+        # f4 elements per operation.
+        return max(self.bytes_per_proc // (4 * self.ops_per_proc), 1)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_procs * self.ops_per_proc * self.elems_per_op * 4
+
+
+def build_h5bench_write(params: H5benchParams) -> Workflow:
+    """N processes, each writing ``ops_per_proc`` dataset timesteps.
+
+    With ``shared_file=True`` a setup task first creates the shared file
+    with per-timestep datasets spanning every process's hyperslab; each
+    process then writes its own slab (the MPI-IO collective-write shape).
+    """
+    from repro.hdf5 import Selection
+
+    p = params
+
+    if not p.shared_file:
+        def writer(proc: int):
+            def fn(rt: TaskRuntime) -> None:
+                rng = np.random.default_rng(proc)
+                f = rt.open(p.file_for(proc), "w")
+                for step in range(p.ops_per_proc):
+                    f.create_dataset(
+                        f"step_{step:05d}", shape=(p.elems_per_op,), dtype="f4",
+                        data=rng.random(p.elems_per_op, dtype=np.float32),
+                    )
+                f.close()
+            return fn
+
+        return Workflow("h5bench_write", [
+            Stage("write", [
+                Task(f"h5bench_write_{i:04d}", writer(i))
+                for i in range(p.n_procs)
+            ])
+        ])
+
+    total_elems = p.elems_per_op * p.n_procs
+
+    def setup(rt: TaskRuntime) -> None:
+        f = rt.open(p.shared_path, "w")
+        for step in range(p.ops_per_proc):
+            f.create_dataset(f"step_{step:05d}", shape=(total_elems,),
+                             dtype="f4")
+        f.close()
+
+    def slab_writer(proc: int):
+        def fn(rt: TaskRuntime) -> None:
+            rng = np.random.default_rng(proc)
+            f = rt.open(p.shared_path, "r+")
+            start = proc * p.elems_per_op
+            for step in range(p.ops_per_proc):
+                f[f"step_{step:05d}"].write(
+                    rng.random(p.elems_per_op, dtype=np.float32),
+                    Selection.hyperslab(((start, p.elems_per_op),)),
+                )
+            f.close()
+        return fn
+
+    return Workflow("h5bench_write_shared", [
+        Stage("setup", [Task("h5bench_setup", setup)], parallel=False),
+        Stage("write", [
+            Task(f"h5bench_write_{i:04d}", slab_writer(i))
+            for i in range(p.n_procs)
+        ]),
+    ])
+
+
+def build_h5bench_read(params: H5benchParams) -> Workflow:
+    """N processes reading back their files with the configured pattern.
+
+    Requires a prior :func:`build_h5bench_write` run on the same params.
+    """
+    from repro.hdf5 import Selection
+
+    p = params
+
+    def read_dataset(ds) -> None:
+        n = ds.shape[0]
+        if p.read_pattern == "full":
+            ds.read()
+        elif p.read_pattern == "partial":
+            count = max(int(n * p.partial_fraction), 1)
+            ds.read(Selection.hyperslab(((0, count),)))
+        else:  # strided
+            blocks = min(p.stride_blocks, n)
+            block = max(n // (blocks * 2), 1)
+            stride = max(n // blocks, 1)
+            for b in range(blocks):
+                start = b * stride
+                count = min(block, n - start)
+                if count > 0:
+                    ds.read(Selection.hyperslab(((start, count),)))
+
+    def reader(proc: int):
+        def fn(rt: TaskRuntime) -> None:
+            f = rt.open(p.file_for(proc), "r")
+            for step in range(p.ops_per_proc):
+                ds = f[f"step_{step:05d}"]
+                if p.shared_file:
+                    # Each process scans its own hyperslab of the shared
+                    # datasets (collective-read shape).
+                    ds.read(Selection.hyperslab(
+                        ((proc * p.elems_per_op, p.elems_per_op),)))
+                else:
+                    read_dataset(ds)
+            f.close()
+        return fn
+
+    return Workflow("h5bench_read", [
+        Stage("read", [
+            Task(f"h5bench_read_{i:04d}", reader(i)) for i in range(p.n_procs)
+        ])
+    ])

@@ -1,0 +1,348 @@
+"""PyFLEXTRKR: the nine-stage storm-tracking analysis pipeline.
+
+Reproduces the dataflow of the paper's Figure 4:
+
+====== ================ ============================================== =====
+Stage  Task             Reads → writes                                 Par.
+====== ================ ============================================== =====
+1      run_idfeature    sensor_i.h5 → feature_i.h5                     yes
+2      run_tracksingle  feature_i, feature_{i+1} → track_i.h5          yes
+3      run_gettracks    ALL track + feature files → tracks_all.h5
+                        (write-after-read: renumber pass)              yes*
+4      run_trackstats   feature files + tracks_all → trackstats.h5     no
+5      run_identifymcs  trackstats → mcs.h5                            no
+6      run_robustmcs    mcs + feature files + terrain_j.h5 (external,
+                        first needed here) → robust_mcs.h5             no
+7      run_matchpf      robust_mcs → matchpf.h5                        no
+8      run_mapfeature   matchpf + feature files → map_i.h5             yes
+9      run_speed        map files → speed_stats_i.h5 (32 tiny datasets
+                        per file, re-read repeatedly — the scattering
+                        bottleneck of Figure 5)                        yes
+====== ================ ============================================== =====
+
+The observations the paper circles in Figure 4 all emerge: stage-1 output
+reuse by stages 2/3/4/6/8, the stage-3 write-after-read, the stage-6
+time-dependent inputs, and disposable initial inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.hdf5 import H5File
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["PyflextrkrParams", "prepare_pyflextrkr_inputs", "build_pyflextrkr"]
+
+
+@dataclass(frozen=True)
+class PyflextrkrParams:
+    """Workload scale knobs.
+
+    Defaults are test-sized; benchmarks pass larger values.
+
+    Attributes:
+        data_dir: Shared-filesystem working directory.
+        n_files: Sensor input files (time steps).
+        grid: Elements per sensor grid (f4 each).
+        n_parallel: Task fan-out of the parallel stages (1, 2, 8).
+        n_terrain: External calibration files first needed at stage 6.
+        small_datasets: Tiny datasets per stage-9 output file (paper: 32).
+        small_elems: Elements per tiny dataset (i4; 100 elems = 400 B).
+        speed_reads: Times stage 9 re-reads each tiny dataset (paper: 23).
+        compute_seconds: Modeled compute per task.
+    """
+
+    data_dir: str = "/pfs/flex"
+    n_files: int = 8
+    grid: int = 4096
+    n_parallel: int = 4
+    n_terrain: int = 2
+    small_datasets: int = 32
+    small_elems: int = 100
+    speed_reads: int = 23
+    compute_seconds: float = 0.05
+
+    @property
+    def input_dir(self) -> str:
+        return f"{self.data_dir}/input"
+
+    def sensor(self, i: int) -> str:
+        return f"{self.input_dir}/sensor_{i:03d}.h5"
+
+    def terrain(self, j: int) -> str:
+        return f"{self.input_dir}/terrain_{j}.h5"
+
+    def feature(self, i: int) -> str:
+        return f"{self.data_dir}/feature/feature_{i:03d}.h5"
+
+    def track(self, i: int) -> str:
+        return f"{self.data_dir}/track/track_{i:03d}.h5"
+
+    @property
+    def tracks_all(self) -> str:
+        return f"{self.data_dir}/tracks_all.h5"
+
+    @property
+    def trackstats(self) -> str:
+        return f"{self.data_dir}/trackstats.h5"
+
+    @property
+    def mcs(self) -> str:
+        return f"{self.data_dir}/mcs.h5"
+
+    @property
+    def robust_mcs(self) -> str:
+        return f"{self.data_dir}/robust_mcs.h5"
+
+    @property
+    def matchpf(self) -> str:
+        return f"{self.data_dir}/matchpf.h5"
+
+    def map_file(self, i: int) -> str:
+        return f"{self.data_dir}/map/map_{i:03d}.h5"
+
+    def speed_file(self, i: int) -> str:
+        return f"{self.data_dir}/speed/speed_stats_{i:03d}.h5"
+
+
+def prepare_pyflextrkr_inputs(cluster: Cluster, params: PyflextrkrParams) -> None:
+    """Create the external inputs: sensor grids and terrain calibration.
+
+    These exist before the workflow starts (and outside DaYu's profiling),
+    like the LES simulation outputs the analysis phase consumes.
+    """
+    rng = np.random.default_rng(7)
+    for i in range(params.n_files):
+        with H5File(cluster.fs, params.sensor(i), "w") as f:
+            f.create_dataset(
+                "radar", shape=(params.grid,), dtype="f4",
+                data=rng.random(params.grid, dtype=np.float32),
+            )
+    for j in range(params.n_terrain):
+        with H5File(cluster.fs, params.terrain(j), "w") as f:
+            f.create_dataset(
+                "terrain", shape=(params.grid // 4,), dtype="f4",
+                data=rng.random(params.grid // 4, dtype=np.float32),
+            )
+
+
+def _shard(n_items: int, n_workers: int, worker: int) -> range:
+    """The contiguous item range worker ``worker`` of ``n_workers`` owns."""
+    base = n_items // n_workers
+    extra = n_items % n_workers
+    start = worker * base + min(worker, extra)
+    count = base + (1 if worker < extra else 0)
+    return range(start, start + count)
+
+
+def build_pyflextrkr(params: PyflextrkrParams) -> Workflow:
+    """Assemble the nine-stage workflow (inputs must already exist)."""
+    p = params
+
+    # ---------------- stage 1: feature identification ----------------
+    def idfeature(worker: int):
+        def fn(rt: TaskRuntime) -> None:
+            for i in _shard(p.n_files, p.n_parallel, worker):
+                src = rt.open(p.sensor(i), "r")
+                radar = src["radar"].read()
+                src.close()
+                dst = rt.open(p.feature(i), "w")
+                dst.create_dataset("features", shape=(p.grid,), dtype="f4",
+                                   data=np.abs(radar))
+                dst.create_dataset("mask", shape=(p.grid,), dtype="i1",
+                                   data=(radar > 0.5).astype(np.int8))
+                dst.close()
+        return fn
+
+    stage1 = Stage("stage1_idfeature", [
+        Task(f"run_idfeature_{k}", idfeature(k), compute_seconds=p.compute_seconds)
+        for k in range(p.n_parallel)
+    ])
+
+    # ---------------- stage 2: single-step tracking -------------------
+    def tracksingle(worker: int):
+        def fn(rt: TaskRuntime) -> None:
+            pairs = max(p.n_files - 1, 0)
+            for i in _shard(pairs, p.n_parallel, worker):
+                a = rt.open(p.feature(i), "r")
+                b = rt.open(p.feature(i + 1), "r")
+                mask_a = a["mask"].read()
+                mask_b = b["mask"].read()
+                a.close()
+                b.close()
+                out = rt.open(p.track(i), "w")
+                out.create_dataset(
+                    "links", shape=(p.grid,), dtype="i4",
+                    data=(mask_a.astype(np.int32) & mask_b.astype(np.int32)),
+                )
+                out.close()
+        return fn
+
+    stage2 = Stage("stage2_tracksingle", [
+        Task(f"run_tracksingle_{k}", tracksingle(k), compute_seconds=p.compute_seconds)
+        for k in range(p.n_parallel)
+    ])
+
+    # -------- stage 3: global track assembly (all-to-all + WAR) ------
+    def gettracks(rt: TaskRuntime) -> None:
+        # All-to-all with write-after-read (the paper's circle 1): every
+        # track file is read, renumbered with global track ids, and
+        # written back in place.
+        links = []
+        next_id = 1
+        for i in range(max(p.n_files - 1, 0)):
+            f = rt.open(p.track(i), "r+")
+            local = f["links"].read()
+            renumbered = np.where(
+                local != 0,
+                np.cumsum(local != 0).astype(np.int32) + next_id - 1,
+                0,
+            ).astype(np.int32)
+            next_id = int(renumbered.max()) + 1 if renumbered.size else next_id
+            f["links"].write(renumbered)
+            f.close()
+            links.append(renumbered)
+        for i in range(p.n_files):
+            f = rt.open(p.feature(i), "r")
+            f["features"].read()
+            f.close()
+        merged = np.concatenate(links) if links else np.zeros(0, dtype=np.int32)
+        out = rt.open(p.tracks_all, "w")
+        out.create_dataset("tracks", shape=(merged.size,), dtype="i4", data=merged)
+        out.close()
+
+    stage3 = Stage("stage3_gettracks", [
+        Task("run_gettracks", gettracks, compute_seconds=p.compute_seconds)
+    ])
+
+    # -------------- stage 4: track statistics (fan-in) ---------------
+    def trackstats(rt: TaskRuntime) -> None:
+        for i in range(p.n_files):
+            f = rt.open(p.feature(i), "r")
+            f["features"].read()
+            f.close()
+        f = rt.open(p.tracks_all, "r")
+        tracks = f["tracks"].read()
+        f.close()
+        out = rt.open(p.trackstats, "w")
+        n_tracks = max(int(tracks.max()) if tracks.size else 0, 1)
+        out.create_dataset("lifetimes", shape=(n_tracks,), dtype="f4",
+                           data=np.ones(n_tracks, dtype=np.float32))
+        out.close()
+
+    stage4 = Stage(
+        "stage4_trackstats",
+        [Task("run_trackstats", trackstats, compute_seconds=p.compute_seconds)],
+        parallel=False,
+    )
+
+    # -------------------- stage 5: MCS identification -----------------
+    def identifymcs(rt: TaskRuntime) -> None:
+        f = rt.open(p.trackstats, "r")
+        lifetimes = f["lifetimes"].read()
+        f.close()
+        out = rt.open(p.mcs, "w")
+        out.create_dataset("mcs_ids", shape=(lifetimes.size,), dtype="i4",
+                           data=np.arange(lifetimes.size, dtype=np.int32))
+        out.close()
+
+    stage5 = Stage(
+        "stage5_identifymcs",
+        [Task("run_identifymcs", identifymcs, compute_seconds=p.compute_seconds)],
+        parallel=False,
+    )
+
+    # ------- stage 6: robust MCS (time-dependent external inputs) -----
+    def robustmcs(rt: TaskRuntime) -> None:
+        f = rt.open(p.mcs, "r")
+        ids = f["mcs_ids"].read()
+        f.close()
+        for j in range(p.n_terrain):  # first (and only) use of terrain data
+            t = rt.open(p.terrain(j), "r")
+            t["terrain"].read()
+            t.close()
+        for i in range(p.n_files):
+            f = rt.open(p.feature(i), "r")
+            f["mask"].read()
+            f.close()
+        out = rt.open(p.robust_mcs, "w")
+        out.create_dataset("robust_ids", shape=(ids.size,), dtype="i4", data=ids)
+        out.close()
+
+    stage6 = Stage(
+        "stage6_robustmcs",
+        [Task("run_robustmcs", robustmcs, compute_seconds=p.compute_seconds)],
+        parallel=False,
+    )
+
+    # ------------------- stage 7: precipitation match -----------------
+    def matchpf(rt: TaskRuntime) -> None:
+        f = rt.open(p.robust_mcs, "r")
+        ids = f["robust_ids"].read()
+        f.close()
+        out = rt.open(p.matchpf, "w")
+        out.create_dataset("pf_match", shape=(ids.size,), dtype="i4", data=ids)
+        out.close()
+
+    stage7 = Stage(
+        "stage7_matchpf",
+        [Task("run_matchpf", matchpf, compute_seconds=p.compute_seconds)],
+        parallel=False,
+    )
+
+    # -------------------- stage 8: feature mapping --------------------
+    def mapfeature(worker: int):
+        def fn(rt: TaskRuntime) -> None:
+            f = rt.open(p.matchpf, "r")
+            f["pf_match"].read()
+            f.close()
+            for i in _shard(p.n_files, p.n_parallel, worker):
+                src = rt.open(p.feature(i), "r")
+                features = src["features"].read()
+                src.close()
+                out = rt.open(p.map_file(i), "w")
+                out.create_dataset("map", shape=(p.grid,), dtype="f4",
+                                   data=features)
+                out.close()
+        return fn
+
+    stage8 = Stage("stage8_mapfeature", [
+        Task(f"run_mapfeature_{k}", mapfeature(k), compute_seconds=p.compute_seconds)
+        for k in range(p.n_parallel)
+    ])
+
+    # ------ stage 9: speed statistics (the scattering bottleneck) -----
+    def speed(worker: int):
+        def fn(rt: TaskRuntime) -> None:
+            rng = np.random.default_rng(worker)
+            for i in _shard(p.n_files, p.n_parallel, worker):
+                src = rt.open(p.map_file(i), "r")
+                src["map"].read()
+                src.close()
+                out = rt.open(p.speed_file(i), "w")
+                for d in range(p.small_datasets):
+                    out.create_dataset(
+                        f"speed_{d:03d}", shape=(p.small_elems,), dtype="i1",
+                        data=rng.integers(0, 100, p.small_elems).astype(np.int8),
+                    )
+                # Repeated small-dataset reads: the Figure 5 access storm.
+                for _ in range(p.speed_reads):
+                    for d in range(p.small_datasets):
+                        out[f"speed_{d:03d}"].read()
+                out.close()
+        return fn
+
+    stage9 = Stage("stage9_speed", [
+        Task(f"run_speed_{k}", speed(k), compute_seconds=p.compute_seconds)
+        for k in range(p.n_parallel)
+    ])
+
+    return Workflow(
+        "pyflextrkr",
+        [stage1, stage2, stage3, stage4, stage5, stage6, stage7, stage8, stage9],
+    )

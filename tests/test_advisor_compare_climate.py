@@ -1,0 +1,190 @@
+"""Tests for the advisor reports, run comparison, and the netCDF climate
+workload."""
+
+import numpy as np
+import pytest
+
+from repro.analyzer import compare_runs
+from repro.diagnostics import (
+    AdvisorReport,
+    InsightKind,
+    Severity,
+    advise,
+    diagnose,
+)
+from repro.diagnostics.insights import Insight
+from repro.experiments.common import fresh_env
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.workloads import ClimateParams, build_climate
+
+
+def insight(kind, subject="/f.h5", tasks=("t",), **evidence):
+    return Insight(kind=kind, subject=subject, tasks=list(tasks),
+                   evidence=dict(evidence), description=f"about {subject}")
+
+
+class TestAdvisorTriage:
+    def test_massive_scattering_is_critical(self):
+        report = advise([insight(InsightKind.DATA_SCATTERING,
+                                 datasets=64, avg_bytes=100)])
+        assert report.findings[0].severity is Severity.CRITICAL
+
+    def test_mild_scattering_is_warning(self):
+        report = advise([insight(InsightKind.DATA_SCATTERING,
+                                 datasets=10, avg_bytes=100)])
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_heavy_metadata_is_critical(self):
+        report = advise([insight(InsightKind.METADATA_OVERHEAD,
+                                 metadata_fraction=0.7)])
+        assert report.findings[0].severity is Severity.CRITICAL
+
+    def test_light_reuse_is_info(self):
+        report = advise([insight(InsightKind.DATA_REUSE, consumers=2)])
+        assert report.findings[0].severity is Severity.INFO
+
+    def test_wide_reuse_is_warning(self):
+        report = advise([insight(InsightKind.DATA_REUSE, consumers=6)])
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_sorted_most_severe_first(self):
+        report = advise([
+            insight(InsightKind.DATA_REUSE, consumers=2),
+            insight(InsightKind.DATA_SCATTERING, datasets=64),
+            insight(InsightKind.VLEN_LAYOUT),
+        ])
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_counts_and_filtering(self):
+        report = advise([
+            insight(InsightKind.DATA_SCATTERING, datasets=64),
+            insight(InsightKind.VLEN_LAYOUT),
+            insight(InsightKind.DATA_REUSE, consumers=2),
+        ])
+        counts = report.counts()
+        assert counts == {"CRITICAL": 1, "WARNING": 1, "INFO": 1}
+        assert len(report.at_least(Severity.WARNING)) == 2
+
+    def test_render_contains_sections_and_actions(self):
+        report = advise([
+            insight(InsightKind.DATA_SCATTERING, subject="/pfs/s.h5",
+                    datasets=64),
+            insight(InsightKind.DATA_REUSE, subject="/pfs/hot.h5",
+                    consumers=2),
+        ])
+        text = report.render()
+        assert "DaYu I/O Advisor" in text
+        assert "CRITICAL" in text and "INFO" in text
+        assert "consolidate_datasets: /pfs/s.h5" in text
+        assert "cache_in_fast_tier: /pfs/hot.h5" in text
+
+    def test_empty_report_renders(self):
+        assert "0 critical" in advise([]).render()
+
+    def test_every_kind_triages(self):
+        for kind in InsightKind:
+            report = advise([insight(kind)])
+            assert isinstance(report.findings[0].severity, Severity)
+
+
+class TestRunComparison:
+    def _run(self, device):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device(device))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("reader") as ctx:
+            from repro.hdf5 import H5File
+            with H5File(fs, "/d.h5", "w") as f:
+                f.create_dataset("x", shape=(50_000,), dtype="f8",
+                                 data=np.zeros(50_000))
+            f = ctx.open(fs, "/d.h5", "r")
+            f["x"].read()
+            f.close()
+        return list(mapper.profiles.values())
+
+    def test_faster_device_shows_negative_io_delta(self):
+        slow = self._run("nfs")
+        fast = self._run("nvme")
+        cmp = compare_runs(slow, fast)
+        assert cmp.total_io_time_delta < 0
+        assert cmp.total_ops_delta == pytest.approx(0.0)  # same op counts
+        assert "/d.h5" in cmp.improved_files("io_time")
+        assert cmp.regressed_files("io_time") == []
+
+    def test_missing_task_appears_as_new(self):
+        base = self._run("nvme")
+        cmp = compare_runs([], base)
+        [row] = cmp.task_rows
+        assert row["ops_before"] == 0
+        assert row["ops_delta"] == float("inf")
+
+    def test_markdown_rendering(self):
+        base = self._run("nfs")
+        opt = self._run("nvme")
+        md = compare_runs(base, opt).to_markdown()
+        assert "Run comparison" in md
+        assert "reader" in md
+        assert "%" in md
+
+
+class TestClimateWorkload:
+    @pytest.fixture(scope="class")
+    def run(self):
+        env = fresh_env(n_nodes=2)
+        params = ClimateParams(data_dir="/beegfs/climate", n_models=3,
+                               timesteps=5, cells=64)
+        result = env.runner.run(build_climate(params))
+        return env, params, result
+
+    def test_three_stages_execute(self, run):
+        env, params, result = run
+        assert [s.name for s in result.stage_results] == [
+            "simulate", "regrid", "statistics"]
+        assert result.wall_time > 0
+
+    def test_netcdf_files_readable(self, run):
+        env, params, result = run
+        from repro.netcdf import NcFile
+        with NcFile(env.cluster.fs, params.member_file(0), "r") as f:
+            assert f.numrecs == params.timesteps
+            assert set(f.variables()) == {"temperature", "pressure"}
+            assert f.get_att("member") == 0
+        with NcFile(env.cluster.fs, params.stats_file, "r") as f:
+            summary = f.variable("summary").read()
+            assert summary[0] <= summary[1] <= summary[2]  # min<=mean<=max
+
+    def test_profiles_capture_record_io(self, run):
+        env, params, result = run
+        model0 = env.mapper.profiles["model_000"]
+        [temp] = [s for s in model0.dataset_stats
+                  if s.data_object == "/temperature"]
+        assert temp.writes == params.timesteps  # one op per record
+        [obj] = [p for p in model0.object_profiles
+                 if p.object_name == "/temperature"]
+        assert obj.layout == "record"
+
+    def test_regrid_reads_interleaved_records(self, run):
+        env, params, result = run
+        regrid = env.mapper.profiles["regrid"]
+        temp_rows = [s for s in regrid.dataset_stats
+                     if s.data_object == "/temperature"]
+        assert len(temp_rows) == params.n_models
+        # Reading a whole record variable costs one op per record.
+        assert all(s.reads == params.timesteps for s in temp_rows)
+
+    def test_diagnostics_work_on_netcdf_profiles(self, run):
+        env, params, result = run
+        report = diagnose(env.mapper.profiles.values())
+        raw = report.by_kind(InsightKind.READ_AFTER_WRITE)
+        assert any("merged.nc" in i.subject for i in raw)
+
+    def test_advisor_end_to_end(self, run):
+        env, params, result = run
+        advisor = advise(diagnose(env.mapper.profiles.values()).insights)
+        assert isinstance(advisor, AdvisorReport)
+        assert advisor.findings
+        assert "DaYu I/O Advisor" in advisor.render()

@@ -1,0 +1,284 @@
+"""Unit tests for the Workflow Analyzer: FTG/SDG construction, reuse
+marking, resolution adjustment, and the HTML/DOT exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analyzer import (
+    NodeKind,
+    aggregate_by,
+    build_ftg,
+    build_sdg,
+    condense_regions,
+    dataset_node,
+    file_node,
+    region_node,
+    task_node,
+    to_dot,
+    to_html,
+)
+from repro.analyzer.resolution import group_by_time_bucket, group_tasks_by_prefix
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+@pytest.fixture()
+def pipeline_profiles():
+    """A two-task producer→consumer pipeline plus a fan-out reader."""
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig())
+    with mapper.task("producer") as ctx:
+        f = ctx.open(fs, "/data.h5", "w")
+        f.create_dataset("a", shape=(100,), dtype="f8", data=np.zeros(100))
+        f.create_dataset("b", shape=(50,), dtype="f8", data=np.ones(50))
+        f.close()
+    with mapper.task("consumer1") as ctx:
+        f = ctx.open(fs, "/data.h5", "r")
+        f["a"].read()
+        f.close()
+        out = ctx.open(fs, "/result.h5", "w")
+        out.create_dataset("r", shape=(10,), dtype="f8", data=np.zeros(10))
+        out.close()
+    with mapper.task("consumer2") as ctx:
+        f = ctx.open(fs, "/data.h5", "r")
+        f["b"].read()
+        f.close()
+    return list(mapper.profiles.values())
+
+
+class TestFtg:
+    def test_nodes_and_kinds(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        kinds = {n: a["kind"] for n, a in g.nodes(data=True)}
+        assert kinds[task_node("producer")] == NodeKind.TASK.value
+        assert kinds[file_node("/data.h5")] == NodeKind.FILE.value
+        assert len([k for k in kinds.values() if k == NodeKind.TASK.value]) == 3
+
+    def test_edge_directions(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        assert g.has_edge(task_node("producer"), file_node("/data.h5"))  # write
+        assert g.has_edge(file_node("/data.h5"), task_node("consumer1"))  # read
+        assert not g.has_edge(task_node("consumer1"), file_node("/data.h5"))
+
+    def test_edge_statistics(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        e = g.edges[task_node("producer"), file_node("/data.h5")]
+        assert e["operation"] == "write"
+        assert e["volume"] > 100 * 8  # dataset a + b + metadata
+        assert e["count"] > 0
+        assert e["bandwidth"] > 0
+        assert e["metadata_ops"] > 0  # headers/superblock
+
+    def test_task_order_attribute(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        assert g.nodes[task_node("producer")]["order"] == 0
+        assert g.nodes[task_node("consumer2")]["order"] == 2
+
+    def test_explicit_task_order(self, pipeline_profiles):
+        order = ["consumer2", "consumer1", "producer"]
+        g = build_ftg(pipeline_profiles, task_order=order)
+        assert g.nodes[task_node("consumer2")]["order"] == 0
+
+    def test_task_order_validation(self, pipeline_profiles):
+        with pytest.raises(ValueError, match="missing tasks"):
+            build_ftg(pipeline_profiles, task_order=["producer"])
+
+    def test_data_reuse_marked(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        # /data.h5 is read by consumer1 and consumer2 -> 2 outgoing edges.
+        assert g.nodes[file_node("/data.h5")]["reused"] is True
+        assert g.nodes[file_node("/result.h5")].get("reused") is False
+        assert g.edges[file_node("/data.h5"), task_node("consumer1")]["reuse"]
+
+    def test_task_span_recorded(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        n = g.nodes[task_node("producer")]
+        assert n["end"] > n["start"]
+
+
+class TestSdg:
+    def test_dataset_layer_present(self, pipeline_profiles):
+        g = build_sdg(pipeline_profiles)
+        d = dataset_node("/data.h5", "/a")
+        assert d in g
+        assert g.nodes[d]["kind"] == NodeKind.DATASET.value
+        # write flow: task -> dataset -> file
+        assert g.has_edge(task_node("producer"), d)
+        assert g.has_edge(d, file_node("/data.h5"))
+        # read flow: file -> dataset -> task
+        assert g.has_edge(file_node("/data.h5"), d)
+        assert g.has_edge(d, task_node("consumer1"))
+
+    def test_file_metadata_pseudo_dataset(self, pipeline_profiles):
+        g = build_sdg(pipeline_profiles)
+        meta = dataset_node("/data.h5", "File-Metadata")
+        assert meta in g
+        assert g.nodes[meta]["label"] == "File-Metadata"
+
+    def test_with_regions_inserts_addr_nodes(self, pipeline_profiles):
+        g = build_sdg(pipeline_profiles, with_regions=True, region_bytes=65536)
+        regions = [n for n, a in g.nodes(data=True) if a["kind"] == NodeKind.REGION.value]
+        assert regions
+        r = regions[0]
+        assert g.nodes[r]["label"].startswith("addr[")
+        # Region nodes sit between datasets and files: no direct edges left.
+        for u, v in g.edges:
+            ku, kv = g.nodes[u]["kind"], g.nodes[v]["kind"]
+            assert {ku, kv} != {NodeKind.DATASET.value, NodeKind.FILE.value}
+
+    def test_region_bytes_must_be_page_multiple(self, pipeline_profiles):
+        with pytest.raises(ValueError):
+            build_sdg(pipeline_profiles, with_regions=True, region_bytes=5000)
+
+    def test_fragmented_dataset_spans_multiple_regions(self):
+        """A dataset whose content lands in far-apart file regions must fan
+        out to multiple addr nodes (the paper's Figure 8 observation)."""
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig(page_size=4096))
+        with mapper.task("writer") as ctx:
+            f = ctx.open(fs, "/big.h5", "w")
+            # Interleave two dataset writes so extents alternate.
+            d1 = f.create_dataset("d1", shape=(40960,), dtype="f8")
+            d2 = f.create_dataset("d2", shape=(40960,), dtype="f8")
+            from repro.hdf5 import Selection
+            half = 20480
+            d1.write(np.zeros(half), Selection.hyperslab(((0, half),)))
+            d2.write(np.zeros(half), Selection.hyperslab(((0, half),)))
+            d1.write(np.zeros(half), Selection.hyperslab(((half, half),)))
+            d2.write(np.zeros(half), Selection.hyperslab(((half, half),)))
+            f.close()
+        g = build_sdg(mapper.profiles.values(), with_regions=True,
+                      region_bytes=65536)
+        d1_node = dataset_node("/big.h5", "/d1")
+        out_regions = [v for v in g.successors(d1_node)
+                       if g.nodes[v]["kind"] == NodeKind.REGION.value]
+        assert len(out_regions) >= 2
+
+
+class TestResolution:
+    def test_group_parallel_tasks(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        for i in range(4):
+            with mapper.task(f"sim_{i:02d}") as ctx:
+                f = ctx.open(fs, f"/out{i}.h5", "w")
+                f.create_dataset("d", shape=(10,), data=np.zeros(10))
+                f.close()
+        g = build_ftg(mapper.profiles.values())
+        condensed = aggregate_by(g, group_tasks_by_prefix())
+        task_nodes = [n for n, a in condensed.nodes(data=True)
+                      if a["kind"] == NodeKind.TASK.value]
+        assert task_nodes == ["task:sim"]
+        assert condensed.nodes["task:sim"]["members"] == 4
+
+    def test_aggregation_sums_edge_stats(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        # Merge both consumers into one group.
+        def grouper(node, attrs):
+            if attrs["kind"] == NodeKind.TASK.value and "consumer" in attrs["label"]:
+                return "task:consumers"
+            return node
+        condensed = aggregate_by(g, grouper)
+        e = condensed.edges[file_node("/data.h5"), "task:consumers"]
+        orig1 = g.edges[file_node("/data.h5"), task_node("consumer1")]
+        orig2 = g.edges[file_node("/data.h5"), task_node("consumer2")]
+        assert e["volume"] == orig1["volume"] + orig2["volume"]
+
+    def test_self_loops_dropped(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        condensed = aggregate_by(g, lambda n, a: "everything")
+        assert condensed.number_of_edges() == 0
+        assert condensed.number_of_nodes() == 1
+
+    def test_condense_regions(self, pipeline_profiles):
+        g = build_sdg(pipeline_profiles, with_regions=True, region_bytes=4096)
+        condensed = condense_regions(g)
+        region_nodes = [n for n, a in condensed.nodes(data=True)
+                        if a["kind"] == NodeKind.REGION.value]
+        files_with_regions = {a["label"].split(":", 1)[1]
+                              for n, a in condensed.nodes(data=True)
+                              if n.startswith("regions:")}
+        assert len(region_nodes) == len(files_with_regions)
+
+    def test_time_bucket_grouper_validation(self):
+        with pytest.raises(ValueError):
+            group_by_time_bucket(0)
+
+    def test_time_bucket_grouping(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        condensed = aggregate_by(g, group_by_time_bucket(1e9))
+        # All tasks fall in bucket 0 and merge.
+        task_nodes = [n for n, a in condensed.nodes(data=True)
+                      if a["kind"] in (NodeKind.TASK.value, "mixed") and n == "t[0]"]
+        assert task_nodes == ["t[0]"]
+
+
+class TestExports:
+    def test_dot_contains_all_nodes(self, pipeline_profiles):
+        g = build_ftg(pipeline_profiles)
+        dot = to_dot(g, title="test")
+        assert dot.startswith('digraph "test"')
+        for _, attrs in g.nodes(data=True):
+            assert attrs["label"] in dot
+
+    def test_dot_edge_stats_in_tooltips(self, pipeline_profiles):
+        dot = to_dot(build_ftg(pipeline_profiles))
+        assert "bandwidth=" in dot
+        assert "metadata_ops=" in dot
+
+    def test_html_is_standalone_and_complete(self, pipeline_profiles):
+        g = build_sdg(pipeline_profiles, with_regions=True, region_bytes=65536)
+        page = to_html(g, title="SDG test")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script>" in page and "</html>" in page
+        assert "http://" not in page.replace("http://www.w3.org", "")  # no CDNs
+        assert "SDG test" in page
+        # Every node label appears.
+        for _, attrs in g.nodes(data=True):
+            label = str(attrs["label"])
+            shown = label if len(label) <= 24 else "…" + label[-23:]
+            assert shown.replace("&", "&amp;") in page or shown in page
+
+    def test_html_edge_popup_payloads_are_json(self, pipeline_profiles):
+        page = to_html(build_ftg(pipeline_profiles))
+        # Extract a data-info attribute and parse it.
+        marker = "data-info='"
+        start = page.index(marker) + len(marker)
+        end = page.index("'", start)
+        info = json.loads(page[start:end].replace("&quot;", '"'))
+        assert "Access Volume" in info
+        assert "Bandwidth" in info
+        assert "Operation" in info
+
+    def test_html_empty_graph(self):
+        import networkx as nx
+        page = to_html(nx.DiGraph())
+        assert "<svg" in page
+
+    def test_write_after_read_cycle_renders(self):
+        """A task that reads then writes the same file creates a 2-cycle;
+        both exports must handle it."""
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("seed") as ctx:
+            f = ctx.open(fs, "/x.h5", "w")
+            f.create_dataset("d", shape=(10,), data=np.zeros(10))
+            f.close()
+        with mapper.task("war_task") as ctx:
+            f = ctx.open(fs, "/x.h5", "r+")
+            data = f["d"].read()
+            f["d"].write(data * 2)
+            f.close()
+        g = build_ftg(mapper.profiles.values())
+        assert g.has_edge(file_node("/x.h5"), task_node("war_task"))
+        assert g.has_edge(task_node("war_task"), file_node("/x.h5"))
+        assert to_html(g)
+        assert to_dot(g)

@@ -1,0 +1,229 @@
+"""Tests for the chunk compression filter pipeline and asynchronous
+staging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdf5 import H5File, Selection
+from repro.hdf5.errors import H5LayoutError
+from repro.middleware import AsyncStager
+from repro.middleware.async_stager import ASYNC_WAIT_ACCOUNT
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+def make_fs(device="ram"):
+    return SimFS(SimClock(), mounts=[Mount("/", make_device(device))])
+
+
+class TestCompression:
+    def test_roundtrip(self):
+        fs = make_fs()
+        data = np.tile(np.arange(64, dtype=np.int64), 16)  # compressible
+        with H5File(fs, "/c.h5", "w") as f:
+            f.create_dataset("z", shape=(1024,), dtype="i8",
+                             layout="chunked", chunks=(256,),
+                             compression="zlib", data=data)
+        with H5File(fs, "/c.h5", "r") as f:
+            assert f["z"].compression == "zlib"
+            np.testing.assert_array_equal(f["z"].read(), data)
+
+    def test_compressed_chunks_smaller_on_disk(self):
+        def file_size(compression):
+            fs = make_fs()
+            data = np.zeros(8192, dtype=np.int64)  # maximally compressible
+            with H5File(fs, "/c.h5", "w") as f:
+                f.create_dataset("z", shape=(8192,), dtype="i8",
+                                 layout="chunked", chunks=(1024,),
+                                 compression=compression, data=data)
+            return fs.stat("/c.h5").size
+
+        assert file_size("zlib") < file_size(None) / 4
+
+    def test_compressed_io_moves_fewer_bytes(self):
+        fs = make_fs()
+        data = np.zeros(8192, dtype=np.int64)
+        with H5File(fs, "/c.h5", "w") as f:
+            f.create_dataset("z", shape=(8192,), dtype="i8",
+                             layout="chunked", chunks=(1024,),
+                             compression="zlib", data=data)
+        fs.clear_log()
+        with H5File(fs, "/c.h5", "r") as f:
+            f["z"].read()
+        raw_bytes = sum(r.nbytes for r in fs.op_log if r.op == "read")
+        assert raw_bytes < 8192 * 8 / 4  # far less than the logical volume
+
+    def test_partial_rmw_on_compressed_chunks(self):
+        fs = make_fs()
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 4, 512).astype(np.int64)
+        with H5File(fs, "/c.h5", "w") as f:
+            d = f.create_dataset("z", shape=(512,), dtype="i8",
+                                 layout="chunked", chunks=(128,),
+                                 compression="zlib", data=data)
+            d.write(np.full(64, 7, dtype=np.int64),
+                    Selection.hyperslab(((100, 64),)))
+            expect = data.copy()
+            expect[100:164] = 7
+            np.testing.assert_array_equal(d.read(), expect)
+
+    def test_recompressed_chunk_relocation_leaves_hole(self):
+        """Rewriting a chunk with less-compressible data grows its stored
+        size — the chunk relocates and the old extent becomes a hole."""
+        fs = make_fs()
+        with H5File(fs, "/c.h5", "w") as f:
+            d = f.create_dataset("z", shape=(256,), dtype="i8",
+                                 layout="chunked", chunks=(256,),
+                                 compression="zlib",
+                                 data=np.zeros(256, dtype=np.int64))
+            holes_before = f.allocator.free_bytes
+            rng = np.random.default_rng(1)
+            d.write(rng.integers(-2**60, 2**60, 256).astype(np.int64))
+            assert f.allocator.free_bytes > holes_before  # old chunk freed
+            # Data still correct after relocation + reopen.
+        with H5File(fs, "/c.h5", "r") as f:
+            assert f["z"].read().shape == (256,)
+
+    def test_compression_requires_chunked(self):
+        fs = make_fs()
+        with H5File(fs, "/c.h5", "w") as f:
+            with pytest.raises(H5LayoutError):
+                f.create_dataset("x", shape=(4,), compression="zlib")
+
+    def test_compression_rejects_vlen(self):
+        fs = make_fs()
+        with H5File(fs, "/c.h5", "w") as f:
+            with pytest.raises(H5LayoutError):
+                f.create_dataset("v", shape=(4,), dtype="vlen-bytes",
+                                 layout="chunked", chunks=(2,),
+                                 compression="zlib")
+
+    def test_bad_level_rejected(self):
+        fs = make_fs()
+        with H5File(fs, "/c.h5", "w") as f:
+            with pytest.raises(H5LayoutError):
+                f.create_dataset("x", shape=(8,), layout="chunked",
+                                 chunks=(4,), compression="zlib",
+                                 compression_level=0)
+
+    def test_uncompressed_dataset_reports_none(self):
+        fs = make_fs()
+        with H5File(fs, "/c.h5", "w") as f:
+            d = f.create_dataset("x", shape=(8,), layout="chunked", chunks=(4,))
+            assert d.compression is None
+            c = f.create_dataset("y", shape=(8,))
+            assert c.compression is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 300),
+        chunk=st.integers(1, 64),
+        level=st.integers(1, 9),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_roundtrip(self, n, chunk, level, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 16, n).astype(np.int64)
+        fs = make_fs()
+        with H5File(fs, "/p.h5", "w") as f:
+            f.create_dataset("z", shape=(n,), dtype="i8",
+                             layout="chunked", chunks=(chunk,),
+                             compression="zlib", compression_level=level,
+                             data=data)
+        with H5File(fs, "/p.h5", "r") as f:
+            np.testing.assert_array_equal(f["z"].read(), data)
+
+
+class TestAsyncStager:
+    def _fs_with_tiers(self):
+        clock = SimClock()
+        return SimFS(clock, mounts=[
+            Mount("/pfs", make_device("beegfs")),
+            Mount("/local", make_device("nvme"), node="n0"),
+        ])
+
+    def _make_file(self, fs, path, nbytes):
+        fd = fs.open(path, "w")
+        fs.store_of(path).write(0, bytes(nbytes))
+        fs.close(fd)
+
+    def test_submit_does_not_advance_clock(self):
+        fs = self._fs_with_tiers()
+        self._make_file(fs, "/local/out.h5", 1 << 20)
+        stager = AsyncStager(fs)
+        before = fs.clock.now
+        transfer = stager.submit("/local/out.h5", "/pfs/out.h5")
+        assert fs.clock.now == before
+        assert transfer.nbytes == 1 << 20
+        assert stager.pending == 1
+
+    def test_destination_materialized(self):
+        fs = self._fs_with_tiers()
+        self._make_file(fs, "/local/out.h5", 4096)
+        AsyncStager(fs).submit("/local/out.h5", "/pfs/out.h5")
+        assert fs.stat("/pfs/out.h5").size == 4096
+
+    def test_fully_overlapped_transfer_costs_nothing(self):
+        fs = self._fs_with_tiers()
+        self._make_file(fs, "/local/out.h5", 1 << 20)
+        stager = AsyncStager(fs)
+        transfer = stager.submit("/local/out.h5", "/pfs/out.h5")
+        # Plenty of foreground work happens meanwhile...
+        fs.clock.advance(10.0, account="compute")
+        waited = stager.wait(transfer)
+        assert waited == 0.0
+        assert stager.overlap_savings() > 0
+
+    def test_immediate_wait_pays_the_transfer(self):
+        fs = self._fs_with_tiers()
+        self._make_file(fs, "/local/out.h5", 8 << 20)
+        stager = AsyncStager(fs)
+        transfer = stager.submit("/local/out.h5", "/pfs/out.h5")
+        waited = stager.wait(transfer)
+        assert waited == pytest.approx(transfer.duration)
+        assert fs.clock.account(ASYNC_WAIT_ACCOUNT) == pytest.approx(waited)
+
+    def test_transfers_queue_behind_each_other(self):
+        fs = self._fs_with_tiers()
+        for i in range(3):
+            self._make_file(fs, f"/local/f{i}.h5", 4 << 20)
+        stager = AsyncStager(fs)
+        transfers = [stager.submit(f"/local/f{i}.h5", f"/pfs/f{i}.h5")
+                     for i in range(3)]
+        # One daemon: completion times strictly increase.
+        assert (transfers[0].completes_at < transfers[1].completes_at
+                < transfers[2].completes_at)
+
+    def test_drain_waits_everything(self):
+        fs = self._fs_with_tiers()
+        for i in range(2):
+            self._make_file(fs, f"/local/f{i}.h5", 1 << 20)
+        stager = AsyncStager(fs)
+        for i in range(2):
+            stager.submit(f"/local/f{i}.h5", f"/pfs/f{i}.h5")
+        stager.drain()
+        assert stager.pending == 0
+
+    def test_async_beats_sync_staging_with_overlap(self):
+        """The DDMD optimization: with enough foreground compute to hide
+        behind, async stage-out is cheaper on the critical path."""
+        from repro.middleware.stager import stage_out
+
+        def critical_path(asynchronous):
+            fs = self._fs_with_tiers()
+            self._make_file(fs, "/local/out.h5", 8 << 20)
+            start = fs.clock.now
+            if asynchronous:
+                stager = AsyncStager(fs)
+                t = stager.submit("/local/out.h5", "/pfs/out.h5")
+                fs.clock.advance(1.0, account="compute")  # next iteration
+                stager.wait(t)
+            else:
+                stage_out(fs, "/local/out.h5", "/pfs/out.h5",
+                          remove_src=False)
+                fs.clock.advance(1.0, account="compute")
+            return fs.clock.now - start
+
+        assert critical_path(True) < critical_path(False)

@@ -1,0 +1,188 @@
+"""Cross-layer consistency fuzzing.
+
+DaYu's value rests on its three trace layers agreeing with each other and
+with the ground-truth POSIX log.  This suite drives *randomized* workloads
+through the full stack and checks the invariants that must hold for any
+workload whatsoever:
+
+1. the VFD trace matches the POSIX log exactly (op counts, bytes, order);
+2. the Characteristic-Mapper join conserves operations and bytes — the
+   per-object rows partition the VFD records;
+3. every data object the join reports was announced by the VOL layer (or
+   is the File-Metadata pseudo-object), and objects with raw traffic in
+   the join show accesses in the VOL profile;
+4. session aggregates equal the sum of their per-op records;
+5. data written through the instrumented stack reads back verbatim.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdf5 import Selection
+from repro.mapper import FILE_METADATA_OBJECT, DaYuConfig, DataSemanticMapper
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.vfd.base import IoClass
+
+
+# One random "program": a list of actions over a couple of files.
+_action = st.sampled_from(["create_contig", "create_chunked", "create_vlen",
+                           "read_full", "read_partial", "overwrite", "attr"])
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(2, 12))
+    return [
+        (draw(_action), draw(st.integers(0, 2)), draw(st.integers(1, 64)),
+         draw(st.integers(0, 2**31 - 1)))
+        for _ in range(n)
+    ]
+
+
+def run_program(program):
+    """Execute a random action list under full DaYu instrumentation."""
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig())
+    expected = {}  # (file, name) -> expected contents
+    with mapper.task("fuzz") as ctx:
+        files = {}
+
+        def file_for(idx):
+            path = f"/fuzz_{idx}.h5"
+            if path not in files:
+                files[path] = ctx.open(fs, path, "w")
+            return path, files[path]
+
+        counter = 0
+        for action, file_idx, size, seed in program:
+            rng = np.random.default_rng(seed)
+            path, f = file_for(file_idx)
+            existing = [k for k in expected if k[0] == path
+                        and not isinstance(expected[k], list)]
+            if action in ("create_contig", "create_chunked"):
+                name = f"d{counter:03d}"
+                counter += 1
+                data = rng.integers(-1000, 1000, size).astype(np.int64)
+                kwargs = ({"layout": "chunked",
+                           "chunks": (max(size // 3, 1),)}
+                          if action == "create_chunked" else {})
+                f.create_dataset(name, shape=(size,), dtype="i8",
+                                 data=data, **kwargs)
+                expected[(path, name)] = data
+            elif action == "create_vlen":
+                name = f"v{counter:03d}"
+                counter += 1
+                items = [bytes(rng.integers(0, 256, rng.integers(0, 40),
+                                            dtype=np.uint8).tobytes())
+                         for _ in range(min(size, 16))]
+                f.create_dataset(name, shape=(len(items),),
+                                 dtype="vlen-bytes", data=items)
+                expected[(path, name)] = list(items)
+            elif action == "read_full" and existing:
+                key = existing[seed % len(existing)]
+                f[key[1]].read()
+            elif action == "read_partial" and existing:
+                key = existing[seed % len(existing)]
+                n = expected[key].size
+                start = seed % n
+                count = max(1, (seed // 7) % (n - start + 1))
+                f[key[1]].read(Selection.hyperslab(((start, count),)))
+            elif action == "overwrite" and existing:
+                key = existing[seed % len(existing)]
+                data = rng.integers(-1000, 1000,
+                                    expected[key].size).astype(np.int64)
+                f[key[1]].write(data)
+                expected[key] = data
+            elif action == "attr" and existing:
+                key = existing[seed % len(existing)]
+                f[key[1]].attrs[f"a{seed % 5}"] = int(seed)
+        for f in files.values():
+            f.close()
+    return fs, mapper, expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_vfd_trace_matches_posix_ground_truth(program):
+    fs, mapper, expected = run_program(program)
+    profile = mapper.profiles["fuzz"]
+    posix = fs.op_log
+    records = profile.io_records
+    assert len(records) == len(posix)
+    for rec, op in zip(records, posix):
+        assert rec.op == op.op
+        assert rec.file == op.path
+        assert rec.offset == op.offset
+        assert rec.nbytes == op.nbytes
+        assert rec.duration == pytest.approx(op.cost)
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_join_conserves_ops_and_bytes(program):
+    fs, mapper, expected = run_program(program)
+    profile = mapper.profiles["fuzz"]
+    total_ops = sum(s.access_count for s in profile.dataset_stats)
+    total_bytes = sum(s.access_volume for s in profile.dataset_stats)
+    assert total_ops == len(profile.io_records)
+    assert total_bytes == sum(r.nbytes for r in profile.io_records)
+    # Metadata/data split also conserves.
+    meta = sum(s.metadata_ops for s in profile.dataset_stats)
+    raw = sum(s.data_ops for s in profile.dataset_stats)
+    assert meta == sum(1 for r in profile.io_records
+                       if r.access_type is IoClass.METADATA)
+    assert raw == sum(1 for r in profile.io_records
+                      if r.access_type is IoClass.RAW)
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_join_objects_announced_by_vol(program):
+    fs, mapper, expected = run_program(program)
+    profile = mapper.profiles["fuzz"]
+    vol_objects = {(p.file, p.object_name) for p in profile.object_profiles}
+    for s in profile.dataset_stats:
+        if s.data_object == FILE_METADATA_OBJECT:
+            continue
+        assert (s.file, s.data_object) in vol_objects, (
+            f"VFD saw object {s.data_object!r} the VOL never announced")
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_sessions_aggregate_their_records(program):
+    fs, mapper, expected = run_program(program)
+    profile = mapper.profiles["fuzz"]
+    per_file_records = {}
+    for r in profile.io_records:
+        per_file_records.setdefault(r.file, []).append(r)
+    for session in profile.file_sessions:
+        records = per_file_records.get(session.file, [])
+        assert session.total_ops == len(records)
+        assert session.read_bytes == sum(
+            r.nbytes for r in records if r.op == "read")
+        assert session.write_bytes == sum(
+            r.nbytes for r in records if r.op == "write")
+        assert session.lifetime is not None and session.lifetime >= 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_data_integrity_after_fuzzing(program):
+    fs, mapper, expected = run_program(program)
+    from repro.hdf5 import H5File
+    by_file = {}
+    for (path, name), value in expected.items():
+        by_file.setdefault(path, {})[name] = value
+    for path, members in by_file.items():
+        with H5File(fs, path, "r") as f:
+            for name, value in members.items():
+                got = f[name].read()
+                if isinstance(value, list):
+                    assert got == value
+                else:
+                    np.testing.assert_array_equal(got, value)

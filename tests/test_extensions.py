@@ -1,0 +1,155 @@
+"""Tests for the extension features: graph JSON serialization, h5bench
+read patterns, and the VOL-level delete/resize wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.analyzer import (
+    build_ftg,
+    build_sdg,
+    graph_from_json,
+    graph_to_json,
+)
+from repro.experiments.common import fresh_env
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.workloads import H5benchParams, build_h5bench_read, build_h5bench_write
+
+
+def profiled_run():
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig())
+    with mapper.task("t") as ctx:
+        f = ctx.open(fs, "/x.h5", "w")
+        f.create_dataset("d", shape=(32,), dtype="f8", data=np.zeros(32))
+        f.close()
+    return fs, mapper
+
+
+class TestGraphJson:
+    def test_ftg_round_trip(self):
+        fs, mapper = profiled_run()
+        g = build_ftg(mapper.profiles.values())
+        restored = graph_from_json(graph_to_json(g))
+        assert set(restored.nodes) == set(g.nodes)
+        assert set(restored.edges) == set(g.edges)
+        for n in g.nodes:
+            assert restored.nodes[n]["kind"] == g.nodes[n]["kind"]
+            assert restored.nodes[n]["volume"] == g.nodes[n]["volume"]
+        for u, v in g.edges:
+            assert restored.edges[u, v]["volume"] == g.edges[u, v]["volume"]
+            assert restored.edges[u, v]["operation"] == g.edges[u, v]["operation"]
+
+    def test_sdg_with_regions_round_trip(self):
+        fs, mapper = profiled_run()
+        g = build_sdg(mapper.profiles.values(), with_regions=True,
+                      region_bytes=65536)
+        restored = graph_from_json(graph_to_json(g, indent=1))
+        assert restored.graph.get("graph_type") == "SDG"
+        assert set(restored.nodes) == set(g.nodes)
+
+    def test_empty_graph(self):
+        import networkx as nx
+        restored = graph_from_json(graph_to_json(nx.DiGraph()))
+        assert len(restored) == 0
+
+
+class TestH5benchPatterns:
+    def _run_pattern(self, pattern, **kwargs):
+        env = fresh_env(n_nodes=1)
+        params = H5benchParams(data_dir="/beegfs/hb", n_procs=1,
+                               bytes_per_proc=1 << 16, ops_per_proc=2,
+                               read_pattern=pattern, **kwargs)
+        env.runner.run(build_h5bench_write(params))
+        env.cluster.fs.clear_log()
+        env.runner.run(build_h5bench_read(params))
+        reads = [r for r in env.cluster.fs.op_log if r.op == "read"]
+        return params, reads
+
+    def test_full_pattern_reads_everything(self):
+        params, reads = self._run_pattern("full")
+        raw = [r for r in reads if r.nbytes == params.elems_per_op * 4]
+        assert len(raw) == params.ops_per_proc
+
+    def test_partial_pattern_reads_fraction(self):
+        params, reads = self._run_pattern("partial", partial_fraction=0.25)
+        quarter = params.elems_per_op * 4 // 4
+        raw = [r for r in reads if r.nbytes == quarter]
+        assert len(raw) == params.ops_per_proc
+
+    def test_strided_pattern_scatters_reads(self):
+        params, reads = self._run_pattern("strided", stride_blocks=4)
+        n = params.elems_per_op
+        block_bytes = max(n // 8, 1) * 4  # blocks = n // (stride_blocks*2)
+        raw = [r for r in reads if r.nbytes == block_bytes]
+        # 4 blocks per dataset x 2 datasets.
+        assert len(raw) == 8
+        offsets = sorted(r.offset for r in raw[:4])
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        # Strided: gaps exceed the block size (holes between blocks).
+        assert all(g > block_bytes for g in gaps)
+
+    def test_shared_file_mode(self):
+        env = fresh_env(n_nodes=2)
+        params = H5benchParams(data_dir="/beegfs/hb", n_procs=3,
+                               bytes_per_proc=1 << 14, ops_per_proc=2,
+                               shared_file=True)
+        env.runner.run(build_h5bench_write(params))
+        fs = env.cluster.fs
+        # One shared file only.
+        assert fs.listdir("/beegfs/hb") == ["/beegfs/hb/h5bench_shared.h5"]
+        env.runner.run(build_h5bench_read(params))
+        # Every writer/reader profile touched the same file.
+        for name, profile in env.mapper.profiles.items():
+            if "setup" not in name:
+                assert profile.files == ["/beegfs/hb/h5bench_shared.h5"]
+        # The shared datasets hold every process's slab.
+        from repro.hdf5 import H5File
+        with H5File(fs, params.shared_path, "r") as f:
+            assert f["step_00000"].shape == (params.elems_per_op * 3,)
+            arr = f["step_00000"].read()
+            assert arr.shape[0] == params.elems_per_op * 3
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            H5benchParams(read_pattern="backwards")
+        with pytest.raises(ValueError):
+            H5benchParams(partial_fraction=0.0)
+        with pytest.raises(ValueError):
+            H5benchParams(stride_blocks=0)
+
+
+class TestVolDeleteResize:
+    def test_vol_resize(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/r.h5", "w")
+            d = f.create_dataset("d", shape=(8,), dtype="i4",
+                                 layout="chunked", chunks=(4,),
+                                 data=np.arange(8, dtype=np.int32))
+            d.resize((12,))
+            assert d.shape == (12,)
+            out = d.read()
+            np.testing.assert_array_equal(out[:8], np.arange(8))
+            f.close()
+
+    def test_vol_delete_records_release(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/del.h5", "w")
+            f.create_dataset("gone", shape=(4,), data=[1.0, 2, 3, 4])
+            f.create_dataset("kept", shape=(4,), data=[5.0, 6, 7, 8])
+            del f.root["gone"]
+            assert f.keys() == ["kept"]
+            f.close()
+        profile = mapper.profiles["t"]
+        [gone] = [p for p in profile.object_profiles
+                  if p.object_name == "/gone"]
+        assert gone.released is not None

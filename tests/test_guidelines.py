@@ -1,0 +1,108 @@
+"""Unit tests for the optimization guidelines: layout advisor and the
+recommendation engine."""
+
+import pytest
+
+from repro.diagnostics.insights import Insight, InsightKind
+from repro.guidelines import (
+    AccessPattern,
+    Action,
+    advise_layout,
+    recommend,
+)
+from repro.guidelines.layout import SMALL_DATA_BYTES
+
+
+class TestLayoutAdvisor:
+    def test_small_fixed_is_contiguous(self):
+        advice = advise_layout("f8", 100)
+        assert advice.layout == "contiguous"
+        assert advice.chunk_elements is None
+        assert "single I/O" in advice.rationale
+
+    def test_large_fixed_sequential_is_contiguous(self):
+        n = SMALL_DATA_BYTES  # * 8 bytes each = way past the threshold
+        advice = advise_layout("f8", n, AccessPattern.SEQUENTIAL)
+        assert advice.layout == "contiguous"
+
+    def test_large_fixed_random_is_chunked(self):
+        n = SMALL_DATA_BYTES
+        advice = advise_layout("f8", n, AccessPattern.RANDOM)
+        assert advice.layout == "chunked"
+        assert advice.chunk_elements == n // 10
+
+    def test_large_fixed_parallel_is_chunked(self):
+        advice = advise_layout("f8", SMALL_DATA_BYTES, AccessPattern.PARALLEL)
+        assert advice.layout == "chunked"
+
+    def test_vlen_always_chunked(self):
+        for n in (10, 10_000_000):
+            advice = advise_layout("vlen-bytes", n)
+            assert advice.layout == "chunked"
+            assert "variable-length" in advice.rationale
+
+    def test_boundary_exactly_small(self):
+        # 1 MiB of u1 is exactly the small threshold -> contiguous.
+        advice = advise_layout("u1", SMALL_DATA_BYTES, AccessPattern.RANDOM)
+        assert advice.layout == "contiguous"
+
+    def test_target_chunks(self):
+        advice = advise_layout("f8", SMALL_DATA_BYTES, AccessPattern.RANDOM,
+                               target_chunks=4)
+        assert advice.chunk_elements == SMALL_DATA_BYTES // 4
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ValueError):
+            advise_layout("f8", -1)
+
+
+def make_insight(kind, subject="/f.h5", tasks=("t1",), desc="d"):
+    return Insight(kind=kind, subject=subject, tasks=list(tasks), description=desc)
+
+
+class TestRecommendationEngine:
+    @pytest.mark.parametrize("kind,action", [
+        (InsightKind.DATA_REUSE, Action.CACHE_IN_FAST_TIER),
+        (InsightKind.TIME_DEPENDENT_INPUT, Action.PREFETCH_BEFORE_USE),
+        (InsightKind.DISPOSABLE_DATA, Action.STAGE_OUT),
+        (InsightKind.DATA_SCATTERING, Action.CONSOLIDATE_DATASETS),
+        (InsightKind.PARTIAL_FILE_ACCESS, Action.SKIP_UNUSED_DATA),
+        (InsightKind.METADATA_OVERHEAD, Action.CONVERT_TO_CONTIGUOUS),
+        (InsightKind.READONLY_SEQUENTIAL, Action.ROLLING_STAGE_IN),
+        (InsightKind.TASK_INDEPENDENCE, Action.PARALLELIZE),
+        (InsightKind.VLEN_LAYOUT, Action.CONVERT_TO_CHUNKED),
+    ])
+    def test_insight_to_action_mapping(self, kind, action):
+        [rec] = recommend([make_insight(kind)])
+        assert rec.action == action
+        assert rec.target == "/f.h5"
+        assert rec.insight_kind == kind
+
+    def test_every_insight_kind_has_an_action(self):
+        for kind in InsightKind:
+            assert recommend([make_insight(kind)])
+
+    def test_dedup_merges_tasks(self):
+        recs = recommend([
+            make_insight(InsightKind.DATA_REUSE, tasks=("a",)),
+            make_insight(InsightKind.DATA_REUSE, tasks=("b",)),
+        ])
+        assert len(recs) == 1
+        assert recs[0].tasks == ["a", "b"]
+
+    def test_ordering_by_support(self):
+        recs = recommend([
+            make_insight(InsightKind.DATA_SCATTERING, subject="/rare.h5"),
+            make_insight(InsightKind.DATA_REUSE, subject="/hot.h5"),
+            make_insight(InsightKind.DATA_REUSE, subject="/hot.h5"),
+            make_insight(InsightKind.DATA_REUSE, subject="/hot.h5"),
+        ])
+        assert recs[0].target == "/hot.h5"
+
+    def test_json_and_str(self):
+        [rec] = recommend([make_insight(InsightKind.VLEN_LAYOUT)])
+        assert rec.to_json_dict()["action"] == "convert_to_chunked"
+        assert "convert_to_chunked" in str(rec)
+
+    def test_empty(self):
+        assert recommend([]) == []

@@ -1,0 +1,124 @@
+"""Multi-session tests: reopening files read-write, extending them, and
+verifying the format survives repeated modify cycles (the workflow pattern
+every case study relies on)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdf5 import H5File, Selection
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+def make_fs():
+    return SimFS(SimClock(), mounts=[Mount("/", make_device("ram"))])
+
+
+class TestReadWriteReopen:
+    def test_add_dataset_after_reopen(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("first", shape=(4,), dtype="i4", data=[1, 2, 3, 4])
+        with H5File(fs, "/a.h5", "r+") as f:
+            f.create_dataset("second", shape=(2,), dtype="f8", data=[1.5, 2.5])
+        with H5File(fs, "/a.h5", "r") as f:
+            assert f.keys() == ["first", "second"]
+            np.testing.assert_array_equal(f["first"].read(), [1, 2, 3, 4])
+            np.testing.assert_array_equal(f["second"].read(), [1.5, 2.5])
+
+    def test_modify_data_after_reopen(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("d", shape=(8,), dtype="f8", data=np.zeros(8))
+        with H5File(fs, "/a.h5", "r+") as f:
+            f["d"].write(np.ones(4), Selection.hyperslab(((2, 4),)))
+        with H5File(fs, "/a.h5", "r") as f:
+            expect = np.zeros(8)
+            expect[2:6] = 1.0
+            np.testing.assert_array_equal(f["d"].read(), expect)
+
+    def test_add_attributes_after_reopen(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("d", shape=(1,), data=[0.0])
+        with H5File(fs, "/a.h5", "r+") as f:
+            f["d"].attrs["round"] = 2
+        with H5File(fs, "/a.h5", "r") as f:
+            assert f["d"].attrs["round"] == 2
+
+    def test_grow_root_group_across_sessions(self):
+        """Adding children session after session forces the root header to
+        relocate in a *later* session than it was created — the superblock
+        must track it."""
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("d000", shape=(1,), data=[0.0])
+        for batch in range(4):
+            with H5File(fs, "/a.h5", "r+") as f:
+                for i in range(8):
+                    name = f"d{batch:01d}{i:02d}_longish_name"
+                    f.create_dataset(name, shape=(2,), dtype="i4",
+                                     data=[batch, i])
+        with H5File(fs, "/a.h5", "r") as f:
+            assert len(f.keys()) == 33
+            np.testing.assert_array_equal(f["d307_longish_name"].read(), [3, 7])
+
+    def test_extend_chunked_dataset_new_chunks(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(100,), dtype="i8",
+                                 layout="chunked", chunks=(10,))
+            d.write(np.arange(50, dtype=np.int64),
+                    Selection.hyperslab(((0, 50),)))
+        with H5File(fs, "/a.h5", "r+") as f:
+            f["d"].write(np.arange(50, 100, dtype=np.int64),
+                         Selection.hyperslab(((50, 50),)))
+        with H5File(fs, "/a.h5", "r") as f:
+            np.testing.assert_array_equal(f["d"].read(), np.arange(100))
+
+    def test_append_vlen_elements_across_sessions(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("v", shape=(6,), dtype="vlen-bytes",
+                                 layout="chunked", chunks=(3,))
+            d.write([b"a", b"bb", b"ccc"], Selection.hyperslab(((0, 3),)))
+        with H5File(fs, "/a.h5", "r+") as f:
+            f["v"].write([b"dddd", b"e", b"ff"],
+                         Selection.hyperslab(((3, 3),)))
+        with H5File(fs, "/a.h5", "r") as f:
+            assert f["v"].read() == [b"a", b"bb", b"ccc", b"dddd", b"e", b"ff"]
+
+    def test_rplus_requires_existing_file(self):
+        fs = make_fs()
+        with pytest.raises(Exception):
+            H5File(fs, "/missing.h5", "r+")
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sessions=st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 49), st.integers(-1000, 1000)),
+                min_size=1, max_size=8,
+            ),
+            min_size=1, max_size=5,
+        )
+    )
+    def test_property_multi_session_point_updates(self, sessions):
+        """Property: a sequence of re-open/update sessions matches a plain
+        numpy reference array."""
+        fs = make_fs()
+        ref = np.zeros(50, dtype=np.int64)
+        with H5File(fs, "/p.h5", "w") as f:
+            f.create_dataset("d", shape=(50,), dtype="i8",
+                             layout="chunked", chunks=(7,), data=ref)
+        for updates in sessions:
+            with H5File(fs, "/p.h5", "r+") as f:
+                d = f["d"]
+                for idx, value in updates:
+                    d.write(np.array([value], dtype=np.int64),
+                            Selection.hyperslab(((idx, 1),)))
+                    ref[idx] = value
+        with H5File(fs, "/p.h5", "r") as f:
+            np.testing.assert_array_equal(f["d"].read(), ref)

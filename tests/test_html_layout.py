@@ -1,0 +1,106 @@
+"""Unit tests for the HTML exporter's internals: the layered layout, edge
+styling scales, and humanized formatting."""
+
+import networkx as nx
+import pytest
+
+from repro.analyzer.graphs import NodeKind
+from repro.analyzer.html_export import (
+    _edge_color,
+    _edge_width,
+    _human_bytes,
+    _layout,
+    to_html,
+)
+
+
+def g_with(*edges):
+    g = nx.DiGraph()
+    for u, v in edges:
+        for n in (u, v):
+            if n not in g:
+                g.add_node(n, kind=NodeKind.TASK.value, label=n, volume=0)
+        g.add_edge(u, v, operation="write", count=1, volume=10, io_time=0.1,
+                   data_ops=1, data_bytes=10, metadata_ops=0,
+                   metadata_bytes=0, start=0.0, end=0.1, bandwidth=100.0)
+    return g
+
+
+class TestLayout:
+    def test_chain_layers_left_to_right(self):
+        g = g_with(("a", "b"), ("b", "c"))
+        pos = _layout(g)
+        assert pos["a"][0] < pos["b"][0] < pos["c"][0]
+
+    def test_siblings_share_column_distinct_rows(self):
+        g = g_with(("a", "b"), ("a", "c"))
+        pos = _layout(g)
+        assert pos["b"][0] == pos["c"][0]
+        assert pos["b"][1] != pos["c"][1]
+
+    def test_two_cycle_terminates_and_separates(self):
+        g = g_with(("a", "b"), ("b", "a"))
+        pos = _layout(g)
+        assert pos["a"] != pos["b"]
+
+    def test_long_cycle_terminates(self):
+        g = g_with(("a", "b"), ("b", "c"), ("c", "a"))
+        pos = _layout(g)  # must not hang or KeyError
+        assert len(pos) == 3
+
+    def test_empty_graph(self):
+        assert _layout(nx.DiGraph()) == {}
+
+    def test_start_time_orders_rows(self):
+        g = nx.DiGraph()
+        for name, start in (("late", 5.0), ("early", 1.0)):
+            g.add_node(name, kind=NodeKind.TASK.value, label=name,
+                       volume=0, start=start)
+        pos = _layout(g)
+        assert pos["early"][1] < pos["late"][1]
+
+
+class TestScales:
+    def test_edge_width_monotone_in_volume(self):
+        widths = [_edge_width(v, 1 << 30) for v in (0, 1 << 10, 1 << 20, 1 << 30)]
+        assert widths == sorted(widths)
+        assert widths[0] >= 1.0
+
+    def test_edge_width_zero_max(self):
+        assert _edge_width(100, 0) == 1.5
+
+    def test_reuse_edges_orange(self):
+        assert _edge_color(1.0, 10.0, reuse=True) == "#e67e22"
+
+    def test_color_darkens_with_bandwidth(self):
+        def lightness(color):
+            rgb = color[4:-1].split(",")
+            return sum(int(c) for c in rgb)
+
+        low = _edge_color(10.0, 1e9, reuse=False)
+        high = _edge_color(1e9, 1e9, reuse=False)
+        assert lightness(high) < lightness(low)
+
+    def test_human_bytes(self):
+        assert _human_bytes(512) == "512 B"
+        assert _human_bytes(2048) == "2.00 KB"
+        assert _human_bytes(3 * (1 << 20)) == "3.00 MB"
+        assert _human_bytes(5 * (1 << 30)) == "5.00 GB"
+
+
+class TestHtmlDocument:
+    def test_special_characters_escaped(self):
+        g = nx.DiGraph()
+        g.add_node("task:<evil>&", kind=NodeKind.TASK.value,
+                   label='<script>alert("x")</script>', volume=0)
+        page = to_html(g)
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_long_labels_truncated(self):
+        g = nx.DiGraph()
+        g.add_node("n", kind=NodeKind.FILE.value,
+                   label="/a/very/long/path/that/never/ends/output.h5",
+                   volume=0)
+        page = to_html(g)
+        assert "…" in page

@@ -1,0 +1,270 @@
+"""Unit tests for the Data Semantic Mapper: config parsing, the
+characteristic (VOL-VFD) join, task profiles, and overhead accounting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hdf5 import Selection
+from repro.mapper import (
+    FILE_METADATA_OBJECT,
+    DaYuConfig,
+    DataSemanticMapper,
+    map_characteristics,
+    overhead_report,
+)
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.vfd.base import IoClass
+from repro.vfd.tracing import VfdIoRecord
+
+
+@pytest.fixture()
+def env():
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig(page_size=4096))
+    return clock, fs, mapper
+
+
+class TestInputParser:
+    def test_defaults(self):
+        cfg = DaYuConfig()
+        assert cfg.page_size == 4096
+        assert cfg.trace_io is True
+
+    def test_parse_charges_cost(self):
+        clock = SimClock()
+        DaYuConfig.parse({"page_size": 65536}, clock)
+        assert clock.account("dayu.input_parser") > 0
+
+    def test_parse_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            DaYuConfig.parse({"page_sz": 1})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            DaYuConfig(page_size=0)
+        with pytest.raises(ValueError):
+            DaYuConfig(skip_ops=-1)
+        with pytest.raises(ValueError):
+            DaYuConfig(output_dir="relative/path")
+
+
+def rec(op, offset, nbytes, io_class, obj, file="/f.h5", start=0.0, dur=0.001):
+    return VfdIoRecord("t", file, op, offset, nbytes, start, dur, io_class, obj)
+
+
+class TestCharacteristicMapper:
+    def test_groups_by_object(self):
+        records = [
+            rec("write", 0, 100, IoClass.RAW, "/a"),
+            rec("write", 100, 100, IoClass.RAW, "/a"),
+            rec("write", 200, 50, IoClass.RAW, "/b"),
+        ]
+        stats = map_characteristics(records, 4096)
+        by_obj = {s.data_object: s for s in stats}
+        assert by_obj["/a"].writes == 2
+        assert by_obj["/a"].bytes_written == 200
+        assert by_obj["/b"].writes == 1
+
+    def test_untagged_records_become_file_metadata(self):
+        stats = map_characteristics([rec("write", 0, 48, IoClass.METADATA, None)], 4096)
+        assert stats[0].data_object == FILE_METADATA_OBJECT
+
+    def test_metadata_raw_split(self):
+        records = [
+            rec("read", 0, 64, IoClass.METADATA, "/d"),
+            rec("read", 4096, 8000, IoClass.RAW, "/d"),
+        ]
+        [s] = map_characteristics(records, 4096)
+        assert s.metadata_ops == 1 and s.metadata_bytes == 64
+        assert s.data_ops == 1 and s.data_bytes == 8000
+        assert s.average_metadata_size == 64
+        assert s.average_data_size == 8000
+
+    def test_metadata_only_detection(self):
+        [s] = map_characteristics(
+            [rec("read", 0, 512, IoClass.METADATA, "/contact_map")], 4096
+        )
+        assert s.metadata_only
+        assert s.operation == "read_only"
+
+    def test_operation_kinds(self):
+        [s] = map_characteristics(
+            [rec("read", 0, 10, IoClass.RAW, "/d"), rec("write", 0, 10, IoClass.RAW, "/d")],
+            4096,
+        )
+        assert s.operation == "read_write"
+
+    def test_bandwidth_and_times(self):
+        records = [
+            rec("write", 0, 1000, IoClass.RAW, "/d", start=1.0, dur=0.5),
+            rec("write", 1000, 1000, IoClass.RAW, "/d", start=2.0, dur=0.5),
+        ]
+        [s] = map_characteristics(records, 4096)
+        assert s.io_time == pytest.approx(1.0)
+        assert s.bandwidth == pytest.approx(2000.0)
+        assert s.first_start == 1.0
+        assert s.last_end == 2.5
+
+    def test_region_histogram(self):
+        records = [
+            rec("write", 0, 100, IoClass.RAW, "/d"),
+            rec("write", 5000, 100, IoClass.RAW, "/d"),
+            rec("write", 4000, 200, IoClass.RAW, "/d"),  # spans pages 0-1
+        ]
+        [s] = map_characteristics(records, 4096)
+        assert s.regions == {0: 2, 1: 2}
+
+    def test_same_object_in_two_files_kept_separate(self):
+        records = [
+            rec("write", 0, 10, IoClass.RAW, "/d", file="/f1.h5"),
+            rec("write", 0, 10, IoClass.RAW, "/d", file="/f2.h5"),
+        ]
+        stats = map_characteristics(records, 4096)
+        assert len(stats) == 2
+
+    def test_empty_records(self):
+        assert map_characteristics([], 4096) == []
+
+    def test_json_roundtrip(self):
+        [s] = map_characteristics([rec("write", 0, 10, IoClass.RAW, "/d")], 4096)
+        d = s.to_json_dict()
+        assert d["data_object"] == "/d"
+        assert json.dumps(d)  # serializable
+
+
+class TestDataSemanticMapper:
+    def test_task_profile_end_to_end(self, env):
+        clock, fs, mapper = env
+        with mapper.task("stage1") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            d = f.create_dataset("result", shape=(256,), dtype="f8",
+                                 data=np.arange(256.0))
+            d.read(Selection.hyperslab(((0, 64),)))
+            f.close()
+        profile = mapper.profiles["stage1"]
+        assert profile.task == "stage1"
+        assert profile.files == ["/out.h5"]
+        assert profile.duration > 0
+        names = {s.data_object for s in profile.dataset_stats}
+        assert "/result" in names
+        assert FILE_METADATA_OBJECT in names
+        [obj] = [p for p in profile.object_profiles if p.object_name == "/result"]
+        assert obj.access_kind == "read_write"
+
+    def test_stats_for(self, env):
+        clock, fs, mapper = env
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            f.create_dataset("d", shape=(8,), dtype="i4", data=np.zeros(8, "i4"))
+            f.close()
+        assert mapper.profiles["t"].stats_for("/d")[0].writes >= 1
+        assert mapper.profiles["t"].stats_for("/missing") == []
+
+    def test_duplicate_task_name_rejected(self, env):
+        clock, fs, mapper = env
+        with mapper.task("t"):
+            pass
+        with pytest.raises(ValueError):
+            with mapper.task("t"):
+                pass
+
+    def test_unclosed_files_closed_at_task_end(self, env):
+        clock, fs, mapper = env
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            f.create_dataset("d", shape=(2,), data=[1.0, 2.0])
+            # no close
+        assert f.closed
+        assert len(mapper.profiles["t"].object_profiles) == 1
+
+    def test_two_tasks_isolated(self, env):
+        clock, fs, mapper = env
+        with mapper.task("producer") as ctx:
+            f = ctx.open(fs, "/shared.h5", "w")
+            f.create_dataset("d", shape=(16,), dtype="f8", data=np.ones(16))
+            f.close()
+        with mapper.task("consumer") as ctx:
+            f = ctx.open(fs, "/shared.h5", "r")
+            f["d"].read()
+            f.close()
+        prod = mapper.profiles["producer"]
+        cons = mapper.profiles["consumer"]
+        assert all(r.task == "producer" for r in prod.io_records)
+        assert all(r.task == "consumer" for r in cons.io_records)
+        assert cons.stats_for("/d")[0].operation == "read_only"
+
+    def test_save_writes_json_profiles(self, env):
+        clock, fs, mapper = env
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            f.create_dataset("d", shape=(2,), data=[1.0, 2.0])
+            f.close()
+        paths = mapper.save(fs)
+        assert paths == ["/dayu/t.json"]
+        fd = fs.open("/dayu/t.json", "r")
+        payload = json.loads(fs.read(fd, 10_000_000))
+        fs.close(fd)
+        assert payload["task"] == "t"
+
+    def test_trace_io_off_drops_records_keeps_stats_empty(self, env):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig(trace_io=False))
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            f.create_dataset("d", shape=(2,), data=[1.0, 2.0])
+            f.close()
+        profile = mapper.profiles["t"]
+        assert profile.io_records == []
+        assert profile.dataset_stats == []  # no per-op mapping possible
+        assert profile.file_sessions  # aggregates still present
+        assert profile.object_profiles  # VOL semantics still present
+
+
+class TestOverheadAccounting:
+    def test_report_components_positive(self, env):
+        clock, fs, mapper = env
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            f.create_dataset("d", shape=(1000,), dtype="f8", data=np.zeros(1000))
+            f.close()
+        report = overhead_report(
+            clock,
+            trace_storage_bytes=mapper.storage_bytes,
+            data_volume_bytes=mapper.data_volume(),
+        )
+        assert report.vfd_tracker > 0
+        assert report.vol_tracker > 0
+        assert report.characteristic_mapper > 0
+        assert report.dayu_time < report.total_runtime
+        shares = report.component_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_overhead_small_for_large_io(self, env):
+        """DaYu's claim: overhead stays well under 1% for data-heavy runs."""
+        clock, fs, mapper = env
+        with mapper.task("t") as ctx:
+            f = ctx.open(fs, "/out.h5", "w")
+            f.create_dataset("big", shape=(2_000_000,), dtype="f8",
+                             data=np.zeros(2_000_000))
+            f.close()
+        report = overhead_report(clock)
+        assert report.runtime_percent < 1.0
+
+    def test_storage_percent(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        report = overhead_report(clock, trace_storage_bytes=25, data_volume_bytes=10_000)
+        assert report.storage_percent == pytest.approx(0.25)
+
+    def test_empty_clock_report(self):
+        report = overhead_report(SimClock())
+        assert report.total_percent == 0.0
+        assert report.runtime_percent == 0.0
+        assert report.storage_percent == 0.0
+        assert sum(report.component_shares().values()) == 0.0

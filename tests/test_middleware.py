@@ -1,0 +1,315 @@
+"""Unit tests for the I/O middleware: staging, tiered cache, consolidation,
+and layout conversion."""
+
+import numpy as np
+import pytest
+
+from repro.hdf5 import H5File
+from repro.hdf5.errors import H5LayoutError, H5NameError
+from repro.middleware import (
+    BufferTier,
+    TieredCache,
+    consolidate_datasets,
+    convert_layout,
+    read_consolidated,
+    rolling_stage_in,
+    stage_in,
+    stage_out,
+)
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+@pytest.fixture()
+def fs():
+    clock = SimClock()
+    return SimFS(
+        clock,
+        mounts=[
+            Mount("/pfs", make_device("beegfs")),
+            Mount("/ram", make_device("ram"), node="n0"),
+            Mount("/ssd", make_device("nvme"), node="n0"),
+            Mount("/hdd", make_device("hdd"), node="n0"),
+        ],
+    )
+
+
+def make_file(fs, path, nbytes=1000):
+    fd = fs.open(path, "w")
+    fs.write(fd, bytes(range(256)) * (nbytes // 256 + 1))
+    fs.truncate(fd, nbytes)
+    fs.close(fd)
+
+
+class TestStaging:
+    def test_stage_in_copies_bytes(self, fs):
+        make_file(fs, "/pfs/in.dat", 5000)
+        dst = stage_in(fs, "/pfs/in.dat", "/ssd/in.dat")
+        assert dst == "/ssd/in.dat"
+        assert fs.stat("/ssd/in.dat").size == 5000
+        a = fs.open("/pfs/in.dat", "r")
+        b = fs.open("/ssd/in.dat", "r")
+        assert fs.read(a, 5000) == fs.read(b, 5000)
+        fs.close(a)
+        fs.close(b)
+
+    def test_stage_out_removes_source(self, fs):
+        make_file(fs, "/ssd/out.dat")
+        stage_out(fs, "/ssd/out.dat", "/hdd/out.dat")
+        assert not fs.exists("/ssd/out.dat")
+        assert fs.exists("/hdd/out.dat")
+
+    def test_stage_out_keep_source(self, fs):
+        make_file(fs, "/ssd/out.dat")
+        stage_out(fs, "/ssd/out.dat", "/hdd/out.dat", remove_src=False)
+        assert fs.exists("/ssd/out.dat")
+
+    def test_rolling_stage_in_yields_in_order(self, fs):
+        srcs = []
+        for i in range(3):
+            path = f"/pfs/s{i}.dat"
+            make_file(fs, path, 100)
+            srcs.append(path)
+        staged = list(rolling_stage_in(fs, srcs, "/ssd/stage"))
+        assert staged == ["/ssd/stage/s0.dat", "/ssd/stage/s1.dat",
+                          "/ssd/stage/s2.dat"]
+        assert all(fs.exists(p) for p in staged)
+
+    def test_staging_pays_both_devices(self, fs):
+        make_file(fs, "/pfs/in.dat", 1 << 20)
+        before = fs.clock.now
+        stage_in(fs, "/pfs/in.dat", "/ssd/in.dat")
+        elapsed = fs.clock.now - before
+        assert elapsed > 0
+        devices = {r.device for r in fs.op_log if r.start >= before}
+        assert devices == {"beegfs", "nvme"}
+
+    def test_stage_in_to_faster_tier_speeds_reads(self, fs):
+        make_file(fs, "/pfs/in.dat", 1 << 20)
+        stage_in(fs, "/pfs/in.dat", "/ssd/in.dat")
+
+        def read_all(path):
+            start = fs.clock.now
+            fd = fs.open(path, "r")
+            fs.read(fd, 1 << 20)
+            fs.close(fd)
+            return fs.clock.now - start
+
+        assert read_all("/ssd/in.dat") < read_all("/pfs/in.dat")
+
+
+class TestTieredCache:
+    def _cache(self, fs, ram=10_000, ssd=100_000):
+        return TieredCache(fs, [
+            BufferTier("ram", "/ram", ram),
+            BufferTier("ssd", "/ssd", ssd),
+        ])
+
+    def test_place_into_fastest_tier(self, fs):
+        make_file(fs, "/pfs/hot.dat", 1000)
+        cache = self._cache(fs)
+        replica = cache.place("/pfs/hot.dat")
+        assert replica.startswith("/ram/")
+        assert cache.resolve("/pfs/hot.dat") == replica
+        assert cache.is_cached("/pfs/hot.dat")
+
+    def test_overflow_falls_to_next_tier(self, fs):
+        make_file(fs, "/pfs/big.dat", 50_000)
+        cache = self._cache(fs, ram=10_000)
+        replica = cache.place("/pfs/big.dat")
+        assert replica.startswith("/ssd/")
+
+    def test_too_big_everywhere_returns_original(self, fs):
+        make_file(fs, "/pfs/huge.dat", 1_000_000)
+        cache = self._cache(fs, ram=10, ssd=10)
+        assert cache.place("/pfs/huge.dat") == "/pfs/huge.dat"
+        assert not cache.is_cached("/pfs/huge.dat")
+
+    def test_place_idempotent(self, fs):
+        make_file(fs, "/pfs/a.dat", 100)
+        cache = self._cache(fs)
+        r1 = cache.place("/pfs/a.dat")
+        ops_before = fs.op_count()
+        r2 = cache.place("/pfs/a.dat")
+        assert r1 == r2
+        assert fs.op_count() == ops_before  # no second copy
+
+    def test_named_tier_placement(self, fs):
+        make_file(fs, "/pfs/a.dat", 100)
+        cache = self._cache(fs)
+        replica = cache.place("/pfs/a.dat", tier_name="ssd")
+        assert replica.startswith("/ssd/")
+
+    def test_named_tier_eviction_demotes(self, fs):
+        cache = self._cache(fs, ram=1000)
+        make_file(fs, "/pfs/a.dat", 800)
+        make_file(fs, "/pfs/b.dat", 800)
+        cache.place("/pfs/a.dat", tier_name="ram")
+        cache.place("/pfs/b.dat", tier_name="ram")
+        # a was demoted to ssd, b lives in ram.
+        assert cache.resolve("/pfs/a.dat").startswith("/ssd/")
+        assert cache.resolve("/pfs/b.dat").startswith("/ram/")
+
+    def test_unknown_tier_rejected(self, fs):
+        make_file(fs, "/pfs/a.dat", 10)
+        with pytest.raises(KeyError):
+            self._cache(fs).place("/pfs/a.dat", tier_name="tape")
+
+    def test_evict(self, fs):
+        make_file(fs, "/pfs/a.dat", 100)
+        cache = self._cache(fs)
+        replica = cache.place("/pfs/a.dat")
+        cache.evict("/pfs/a.dat")
+        assert not fs.exists(replica)
+        assert cache.resolve("/pfs/a.dat") == "/pfs/a.dat"
+        assert cache.utilization()["ram"] == 0.0
+
+    def test_resolve_uncached_passthrough(self, fs):
+        assert self._cache(fs).resolve("/pfs/na.dat") == "/pfs/na.dat"
+
+    def test_validation(self, fs):
+        with pytest.raises(ValueError):
+            TieredCache(fs, [])
+        with pytest.raises(ValueError):
+            TieredCache(fs, [BufferTier("x", "/ram", 1), BufferTier("x", "/ssd", 1)])
+
+
+class TestConsolidation:
+    def _scatter_file(self, fs, path="/pfs/scatter.h5", n=16, elems=25):
+        with H5File(fs, path, "w") as f:
+            for i in range(n):
+                f.create_dataset(
+                    f"s{i:02d}", shape=(elems,), dtype="i4",
+                    data=np.arange(elems, dtype=np.int32) + i,
+                )
+        return path
+
+    def test_roundtrip_members(self, fs):
+        src = self._scatter_file(fs)
+        index = consolidate_datasets(fs, src, "/pfs/merged.h5")
+        assert len(index) == 16
+        with H5File(fs, "/pfs/merged.h5", "r") as f:
+            big = f["consolidated"]
+            got = read_consolidated(big, "s03")
+            np.testing.assert_array_equal(got, np.arange(25, dtype=np.int32) + 3)
+
+    def test_missing_member_rejected(self, fs):
+        src = self._scatter_file(fs, n=2)
+        consolidate_datasets(fs, src, "/pfs/m.h5")
+        with H5File(fs, "/pfs/m.h5", "r") as f:
+            with pytest.raises(H5NameError):
+                read_consolidated(f["consolidated"], "nope")
+
+    def test_vlen_rejected(self, fs):
+        with H5File(fs, "/pfs/v.h5", "w") as f:
+            f.create_dataset("v", shape=(2,), dtype="vlen-bytes",
+                             data=[b"a", b"bb"])
+        with pytest.raises(H5LayoutError):
+            consolidate_datasets(fs, "/pfs/v.h5", "/pfs/out.h5")
+
+    def test_multidim_member_shape_preserved(self, fs):
+        with H5File(fs, "/pfs/md.h5", "w") as f:
+            f.create_dataset("m", shape=(3, 4), dtype="f8",
+                             data=np.arange(12.0).reshape(3, 4))
+        consolidate_datasets(fs, "/pfs/md.h5", "/pfs/md_out.h5")
+        with H5File(fs, "/pfs/md_out.h5", "r") as f:
+            got = read_consolidated(f["consolidated"], "m")
+            assert got.shape == (3, 4)
+            np.testing.assert_array_equal(got, np.arange(12.0).reshape(3, 4))
+
+    def test_consolidated_reads_cost_fewer_ops(self, fs):
+        """The point of the optimization: reading every member from the
+        consolidated file takes fewer POSIX ops than the scattered file."""
+        src = self._scatter_file(fs, n=32, elems=8)
+        consolidate_datasets(fs, src, "/pfs/merged.h5")
+
+        fs.clear_log()
+        with H5File(fs, src, "r") as f:
+            for d in f.root.datasets():
+                d.read()
+        scattered_ops = fs.op_count(op="read")
+
+        fs.clear_log()
+        with H5File(fs, "/pfs/merged.h5", "r") as f:
+            big = f["consolidated"]
+            for i in range(32):
+                read_consolidated(big, f"s{i:02d}")
+        consolidated_ops = fs.op_count(op="read")
+        assert consolidated_ops < scattered_ops
+
+
+class TestLayoutConvert:
+    def _chunked_file(self, fs, path="/pfs/c.h5"):
+        with H5File(fs, path, "w") as f:
+            f.create_dataset("a", shape=(200,), dtype="f8",
+                             layout="chunked", chunks=(16,),
+                             data=np.arange(200.0))
+            d = f.create_dataset("g/b", shape=(50,), dtype="i4",
+                                 layout="chunked", chunks=(8,),
+                                 data=np.arange(50, dtype=np.int32))
+            d.attrs["unit"] = "counts"
+        return path
+
+    def test_convert_to_contiguous(self, fs):
+        src = self._chunked_file(fs)
+        n = convert_layout(fs, src, "/pfs/contig.h5", layout="contiguous")
+        assert n == 2
+        with H5File(fs, "/pfs/contig.h5", "r") as f:
+            assert f["a"].layout_name == "contiguous"
+            assert f["g/b"].layout_name == "contiguous"
+            np.testing.assert_array_equal(f["a"].read(), np.arange(200.0))
+            assert f["g/b"].attrs["unit"] == "counts"
+
+    def test_convert_to_chunked(self, fs):
+        with H5File(fs, "/pfs/flat.h5", "w") as f:
+            f.create_dataset("x", shape=(100,), dtype="f8",
+                             data=np.arange(100.0))
+        convert_layout(fs, "/pfs/flat.h5", "/pfs/ch.h5", layout="chunked",
+                       default_chunk_elements=25)
+        with H5File(fs, "/pfs/ch.h5", "r") as f:
+            assert f["x"].layout_name == "chunked"
+            assert f["x"].chunks == (25,)
+            np.testing.assert_array_equal(f["x"].read(), np.arange(100.0))
+
+    def test_explicit_chunks_for(self, fs):
+        with H5File(fs, "/pfs/flat.h5", "w") as f:
+            f.create_dataset("x", shape=(100,), dtype="f8", data=np.zeros(100))
+        convert_layout(fs, "/pfs/flat.h5", "/pfs/ch.h5", layout="chunked",
+                       chunks_for={"/x": (10,)})
+        with H5File(fs, "/pfs/ch.h5", "r") as f:
+            assert f["x"].chunks == (10,)
+
+    def test_auto_small_becomes_contiguous(self, fs):
+        src = self._chunked_file(fs)
+        convert_layout(fs, src, "/pfs/auto.h5", layout="auto")
+        with H5File(fs, "/pfs/auto.h5", "r") as f:
+            assert f["a"].layout_name == "contiguous"  # small fixed data
+
+    def test_auto_vlen_becomes_chunked(self, fs):
+        with H5File(fs, "/pfs/v.h5", "w") as f:
+            f.create_dataset("v", shape=(20,), dtype="vlen-bytes",
+                             data=[b"z" * (i + 1) for i in range(20)])
+        convert_layout(fs, "/pfs/v.h5", "/pfs/v2.h5", layout="auto")
+        with H5File(fs, "/pfs/v2.h5", "r") as f:
+            assert f["v"].layout_name == "chunked"
+            assert f["v"].read() == [b"z" * (i + 1) for i in range(20)]
+
+    def test_bad_layout_rejected(self, fs):
+        with pytest.raises(H5LayoutError):
+            convert_layout(fs, "/x", "/y", layout="diagonal")
+
+    def test_contiguous_conversion_reduces_ops_for_small_data(self, fs):
+        """The DDMD Figure 13b effect: contiguous rewrites of small chunked
+        datasets need fewer read ops."""
+        src = self._chunked_file(fs)
+        convert_layout(fs, src, "/pfs/contig.h5", layout="contiguous")
+
+        def read_ops(path):
+            fs.clear_log()
+            with H5File(fs, path, "r") as f:
+                f["a"].read()
+                f["g/b"].read()
+            return fs.op_count(op="read")
+
+        assert read_ops("/pfs/contig.h5") < read_ops(src)

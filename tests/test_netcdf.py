@@ -1,0 +1,320 @@
+"""Tests for the classic-NetCDF-like format: header codec, define/data
+modes, fixed vs. record variable I/O shapes, VOL instrumentation, and
+mixed-format workflow analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analyzer import build_ftg, dataset_node, file_node, task_node
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.netcdf import NcFile, NcFormatError
+from repro.netcdf.format import NcAtt, NcDim, NcHeader, NcVarMeta
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+def make_fs():
+    return SimFS(SimClock(), mounts=[Mount("/", make_device("ram"))])
+
+
+@pytest.fixture()
+def fs():
+    return make_fs()
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        header = NcHeader(
+            numrecs=7,
+            dims=[NcDim("time", 0), NcDim("x", 128)],
+            atts=[NcAtt("title", "text", b"storm run")],
+            variables=[
+                NcVarMeta("temp", "f4", [0, 1], vsize=512, begin=1024),
+                NcVarMeta("grid", "f8", [1],
+                          atts=[NcAtt("units", "text", b"m")],
+                          vsize=1024, begin=2048),
+            ],
+        )
+        decoded = NcHeader.decode(header.encode())
+        assert decoded.numrecs == 7
+        assert [d.name for d in decoded.dims] == ["time", "x"]
+        assert decoded.dims[0].is_record
+        assert decoded.variables[0].dim_ids == [0, 1]
+        assert decoded.variables[1].atts[0].payload == b"m"
+        assert decoded.record_dim_id() == 0
+        assert decoded.is_record_var(decoded.variables[0])
+        assert not decoded.is_record_var(decoded.variables[1])
+        assert decoded.recsize() == 512
+
+    def test_alignment_padding(self):
+        assert len(NcHeader().encode()) % 512 == 0
+
+    def test_bad_magic(self):
+        with pytest.raises(NcFormatError):
+            NcHeader.decode(b"NOPE" + b"\x00" * 60)
+
+
+class TestDefineMode:
+    def test_schema_building(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("time", None)
+        f.create_dimension("x", 16)
+        v = f.create_variable("temp", "f4", ["time", "x"])
+        v.set_att("units", "K")
+        f.set_att("title", "test")
+        f.enddef()
+        assert f.variables() == ["temp"]
+        assert f.get_att("title") == "test"
+        assert v.get_att("units") == "K"
+        f.close()
+
+    def test_duplicate_dimension_rejected(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("x", 4)
+        with pytest.raises(NcFormatError):
+            f.create_dimension("x", 8)
+
+    def test_two_unlimited_rejected(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("t", None)
+        with pytest.raises(NcFormatError):
+            f.create_dimension("t2", None)
+
+    def test_zero_length_dim_rejected(self, fs):
+        with pytest.raises(NcFormatError):
+            NcFile(fs, "/a.nc", "w").create_dimension("x", 0)
+
+    def test_unknown_dimension_rejected(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        with pytest.raises(NcFormatError):
+            f.create_variable("v", "f4", ["ghost"])
+
+    def test_record_dim_must_be_first(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("t", None)
+        f.create_dimension("x", 4)
+        with pytest.raises(NcFormatError):
+            f.create_variable("v", "f4", ["x", "t"])
+
+    def test_vlen_rejected(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("x", 4)
+        with pytest.raises(NcFormatError):
+            f.create_variable("v", "vlen-bytes", ["x"])
+
+    def test_data_ops_blocked_in_define_mode(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("x", 4)
+        v = f.create_variable("v", "f4", ["x"])
+        with pytest.raises(NcFormatError, match="define mode"):
+            v.write(np.zeros(4, np.float32))
+
+    def test_define_ops_blocked_after_enddef(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("x", 4)
+        f.enddef()
+        with pytest.raises(NcFormatError, match="not in define mode"):
+            f.create_dimension("y", 4)
+
+
+class TestDataMode:
+    def _file(self, fs, path="/a.nc"):
+        f = NcFile(fs, path, "w")
+        f.create_dimension("time", None)
+        f.create_dimension("x", 8)
+        grid = f.create_variable("grid", "f8", ["x"])
+        temp = f.create_variable("temp", "f4", ["time", "x"])
+        wind = f.create_variable("wind", "f4", ["time", "x"])
+        f.enddef()
+        return f, grid, temp, wind
+
+    def test_fixed_roundtrip(self, fs):
+        f, grid, temp, wind = self._file(fs)
+        data = np.arange(8.0)
+        grid.write(data)
+        np.testing.assert_array_equal(grid.read(), data)
+        f.close()
+
+    def test_record_append_and_read(self, fs):
+        f, grid, temp, wind = self._file(fs)
+        for r in range(3):
+            temp.write_record(r, np.full(8, float(r), np.float32))
+            wind.write_record(r, np.full(8, float(-r), np.float32))
+        assert f.numrecs == 3
+        assert temp.shape == (3, 8)
+        np.testing.assert_array_equal(temp.read_record(1), np.full(8, 1.0))
+        np.testing.assert_array_equal(wind.read()[2], np.full(8, -2.0))
+        f.close()
+
+    def test_persistence_across_reopen(self, fs):
+        f, grid, temp, wind = self._file(fs)
+        grid.write(np.arange(8.0))
+        temp.write(np.arange(16, dtype=np.float32))  # 2 records
+        f.close()
+        f2 = NcFile(fs, "/a.nc", "r")
+        assert f2.numrecs == 2
+        assert f2.dimensions() == {"time": 2, "x": 8}
+        np.testing.assert_array_equal(f2.variable("grid").read(), np.arange(8.0))
+        np.testing.assert_array_equal(
+            f2.variable("temp").read().reshape(-1), np.arange(16.0))
+        f2.close()
+
+    def test_record_read_out_of_range(self, fs):
+        f, grid, temp, wind = self._file(fs)
+        with pytest.raises(NcFormatError, match="out of range"):
+            temp.read_record(0)
+
+    def test_record_ops_rejected_on_fixed_var(self, fs):
+        f, grid, temp, wind = self._file(fs)
+        with pytest.raises(NcFormatError):
+            grid.write_record(0, np.zeros(8))
+
+    def test_size_validation(self, fs):
+        f, grid, temp, wind = self._file(fs)
+        with pytest.raises(NcFormatError):
+            grid.write(np.zeros(7))
+        with pytest.raises(NcFormatError):
+            temp.write_record(0, np.zeros(5, np.float32))
+        with pytest.raises(NcFormatError):
+            temp.write(np.zeros(12, np.float32))  # not a record multiple
+
+    def test_unknown_variable(self, fs):
+        f, *_ = self._file(fs)
+        with pytest.raises(KeyError):
+            f.variable("nope")
+
+    def test_closed_file_rejects(self, fs):
+        f, grid, *_ = self._file(fs)
+        f.close()
+        with pytest.raises(NcFormatError):
+            grid.read()
+        f.close()  # idempotent
+
+
+class TestIoShape:
+    """The signature netCDF behaviours DaYu would decode."""
+
+    def test_fixed_variable_is_single_op(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("x", 1024)
+        v = f.create_variable("v", "f8", ["x"])
+        f.enddef()
+        fs.clear_log()
+        v.write(np.zeros(1024))
+        raw_writes = [r for r in fs.op_log if r.op == "write"]
+        assert len(raw_writes) == 1
+        f.close()
+
+    def test_record_variable_scatters_one_op_per_record(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("t", None)
+        f.create_dimension("x", 64)
+        a = f.create_variable("a", "f4", ["t", "x"])
+        b = f.create_variable("b", "f4", ["t", "x"])
+        f.enddef()
+        for r in range(5):
+            a.write_record(r, np.zeros(64, np.float32))
+            b.write_record(r, np.zeros(64, np.float32))
+        fs.clear_log()
+        a.read()
+        reads = [r for r in fs.op_log if r.op == "read"]
+        assert len(reads) == 5  # one per record: the interleaving cost
+        # And the reads are NOT contiguous (strided by the full recsize).
+        offsets = [r.offset for r in reads]
+        stride = offsets[1] - offsets[0]
+        assert stride == 2 * 64 * 4  # both variables' record slices
+        f.close()
+
+    def test_record_append_updates_header(self, fs):
+        f = NcFile(fs, "/a.nc", "w")
+        f.create_dimension("t", None)
+        f.create_dimension("x", 4)
+        v = f.create_variable("v", "f4", ["t", "x"])
+        f.enddef()
+        fs.clear_log()
+        v.write_record(0, np.zeros(4, np.float32))
+        # numrecs rewrite: a small metadata write at the file head.
+        header_writes = [r for r in fs.op_log
+                         if r.op == "write" and r.offset == 4 and r.nbytes == 8]
+        assert len(header_writes) == 1
+        f.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nx=st.integers(1, 32),
+        nrec=st.integers(0, 10),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_roundtrip(self, nx, nrec, seed):
+        rng = np.random.default_rng(seed)
+        fs = make_fs()
+        f = NcFile(fs, "/p.nc", "w")
+        f.create_dimension("t", None)
+        f.create_dimension("x", nx)
+        fixed = f.create_variable("fixed", "f8", ["x"])
+        recvar = f.create_variable("rec", "f4", ["t", "x"])
+        f.enddef()
+        fixed_data = rng.random(nx)
+        fixed.write(fixed_data)
+        rec_data = rng.random((nrec, nx)).astype(np.float32)
+        for r in range(nrec):
+            recvar.write_record(r, rec_data[r])
+        f.close()
+        f2 = NcFile(fs, "/p.nc", "r")
+        np.testing.assert_array_equal(f2.variable("fixed").read(), fixed_data)
+        got = f2.variable("rec").read()
+        assert got.shape == (nrec, nx)
+        np.testing.assert_array_equal(got, rec_data)
+        f2.close()
+
+
+class TestNetcdfUnderDaYu:
+    def test_profiled_netcdf_task(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("nc_writer") as ctx:
+            f = ctx.open_netcdf(fs, "/climate.nc", "w")
+            f.create_dimension("time", None)
+            f.create_dimension("cell", 128)
+            temp = f.create_variable("temperature", "f4", ["time", "cell"])
+            f.enddef()
+            for r in range(4):
+                temp.write_record(r, np.zeros(128, np.float32))
+            f.close()
+        profile = mapper.profiles["nc_writer"]
+        rows = profile.stats_for("/temperature")
+        assert rows and rows[0].writes == 4
+        assert rows[0].data_ops == 4
+        [obj] = [p for p in profile.object_profiles
+                 if p.object_name == "/temperature"]
+        assert obj.layout == "record"
+        assert obj.dtype == "f4"
+
+    def test_mixed_format_workflow_graph(self):
+        """An HDF5 producer feeding a netCDF consumer appears as one
+        connected FTG — the cross-format analysis the paper motivates."""
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("h5_producer") as ctx:
+            f = ctx.open(fs, "/sim.h5", "w")
+            f.create_dataset("field", shape=(64,), dtype="f4",
+                             data=np.zeros(64, np.float32))
+            f.close()
+        with mapper.task("nc_converter") as ctx:
+            src = ctx.open(fs, "/sim.h5", "r")
+            field = src["field"].read()
+            src.close()
+            dst = ctx.open_netcdf(fs, "/out.nc", "w")
+            dst.create_dimension("x", 64)
+            v = dst.create_variable("field", "f4", ["x"])
+            dst.enddef()
+            v.write(field)
+            dst.close()
+        ftg = build_ftg(mapper.profiles.values())
+        assert ftg.has_edge(task_node("h5_producer"), file_node("/sim.h5"))
+        assert ftg.has_edge(file_node("/sim.h5"), task_node("nc_converter"))
+        assert ftg.has_edge(task_node("nc_converter"), file_node("/out.nc"))

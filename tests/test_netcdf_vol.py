@@ -1,0 +1,131 @@
+"""Tests for the netCDF VOL wrapper layer specifically (the climate
+workload covers the happy path; these cover the wrapper surface)."""
+
+import numpy as np
+import pytest
+
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.netcdf import NcFormatError
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.vfd.base import IoClass
+
+
+@pytest.fixture()
+def env():
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig())
+    return fs, mapper
+
+
+def write_file(ctx, fs, path="/w.nc", records=3, cells=16):
+    f = ctx.open_netcdf(fs, path, "w")
+    f.create_dimension("t", None)
+    f.create_dimension("x", cells)
+    f.set_att("source", "test")
+    v = f.create_variable("v", "f4", ["t", "x"])
+    v.set_att("units", "m/s")
+    fixed = f.create_variable("grid", "f8", ["x"])
+    f.enddef()
+    for r in range(records):
+        v.write_record(r, np.full(cells, float(r), np.float32))
+    fixed.write(np.arange(cells, dtype=np.float64))
+    f.close()
+    return path
+
+
+class TestNcVolSurface:
+    def test_attributes_round_trip(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            write_file(ctx, fs)
+        with mapper.task("r") as ctx:
+            f = ctx.open_netcdf(fs, "/w.nc", "r")
+            assert f.get_att("source") == "test"
+            v = f.variable("v")
+            assert v.get_att("units") == "m/s"
+            assert v.is_record
+            assert v.dtype.code == "f4"
+            assert f.dimensions() == {"t": 3, "x": 16}
+            f.close()
+
+    def test_read_record_via_wrapper_profiled(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            write_file(ctx, fs)
+        with mapper.task("r") as ctx:
+            f = ctx.open_netcdf(fs, "/w.nc", "r")
+            v = f.variable("v")
+            rec = v.read_record(1)
+            np.testing.assert_array_equal(rec, np.full(16, 1.0))
+            f.close()
+        profile = mapper.profiles["r"]
+        [stats] = [s for s in profile.dataset_stats if s.data_object == "/v"]
+        assert stats.reads == 1
+        assert stats.operation == "read_only"
+
+    def test_vfd_records_tagged_with_variable(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            write_file(ctx, fs)
+        profile = mapper.profiles["w"]
+        v_records = [r for r in profile.io_records if r.data_object == "/v"]
+        assert v_records
+        assert all(r.access_type is IoClass.RAW for r in v_records
+                   if r.nbytes == 16 * 4)
+
+    def test_numrecs_header_update_is_metadata(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            write_file(ctx, fs, records=2)
+        profile = mapper.profiles["w"]
+        numrecs_updates = [r for r in profile.io_records
+                           if r.op == "write" and r.offset == 4
+                           and r.access_type is IoClass.METADATA]
+        assert len(numrecs_updates) == 2  # one per appended record
+
+    def test_wrapper_write_record_count_mismatch(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            f = ctx.open_netcdf(fs, "/w.nc", "w")
+            f.create_dimension("t", None)
+            f.create_dimension("x", 8)
+            v = f.create_variable("v", "f4", ["t", "x"])
+            f.enddef()
+            with pytest.raises(NcFormatError):
+                v.write_record(0, np.zeros(5, np.float32))
+            f.close()
+
+    def test_double_close_single_file_event(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            path = write_file(ctx, fs)
+            f = ctx.open_netcdf(fs, path, "r")
+            f.close()
+            f.close()  # idempotent
+        assert mapper.profiles["w"].files == [path]
+
+    def test_context_manager(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            with ctx.open_netcdf(fs, "/cm.nc", "w") as f:
+                f.create_dimension("x", 4)
+                f.create_variable("d", "f8", ["x"])
+                f.enddef()
+                f.variable("d").write(np.zeros(4))
+            assert f.closed
+
+    def test_mixed_fixed_record_shapes(self, env):
+        fs, mapper = env
+        with mapper.task("w") as ctx:
+            write_file(ctx, fs, records=4, cells=8)
+        with mapper.task("r") as ctx:
+            f = ctx.open_netcdf(fs, "/w.nc", "r")
+            assert f.variable("v").shape == (4, 8)
+            assert f.variable("grid").shape == (8,)
+            assert not f.variable("grid").is_record
+            np.testing.assert_array_equal(
+                f.variable("grid").read(), np.arange(8.0))
+            f.close()

@@ -1,0 +1,310 @@
+"""Tests for dataset resizing, object deletion/reclamation, task-order
+inference, and format corruption handling."""
+
+import numpy as np
+import pytest
+
+from repro.analyzer import (
+    CyclicDependencyError,
+    dependency_dag,
+    infer_task_order,
+)
+from repro.hdf5 import H5File, Selection
+from repro.hdf5.errors import H5FormatError, H5LayoutError, H5NameError, H5StateError, H5TypeError
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+def make_fs():
+    return SimFS(SimClock(), mounts=[Mount("/", make_device("ram"))])
+
+
+class TestResize:
+    def test_grow_exposes_fill_values(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(10,), dtype="i8",
+                                 layout="chunked", chunks=(4,),
+                                 data=np.arange(10, dtype=np.int64))
+            d.resize((16,))
+            out = d.read()
+            np.testing.assert_array_equal(out[:10], np.arange(10))
+            np.testing.assert_array_equal(out[10:], np.zeros(6))
+
+    def test_grow_then_write_new_region(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(8,), dtype="f8",
+                                 layout="chunked", chunks=(4,),
+                                 data=np.zeros(8))
+            d.resize(12)
+            d.write(np.ones(4), Selection.hyperslab(((8, 4),)))
+            np.testing.assert_array_equal(d.read()[8:], np.ones(4))
+
+    def test_shrink_narrows_extent(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(10,), dtype="i4",
+                                 layout="chunked", chunks=(5,),
+                                 data=np.arange(10, dtype=np.int32))
+            d.resize((6,))
+            assert d.shape == (6,)
+            np.testing.assert_array_equal(d.read(), np.arange(6))
+
+    def test_resize_persists(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(4,), dtype="f8",
+                                 layout="chunked", chunks=(4,),
+                                 data=np.arange(4.0))
+            d.resize((8,))
+        with H5File(fs, "/a.h5", "r") as f:
+            assert f["d"].shape == (8,)
+            np.testing.assert_array_equal(f["d"].read()[:4], np.arange(4.0))
+
+    def test_contiguous_not_resizable(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(4,), dtype="f8")
+            with pytest.raises(H5LayoutError, match="resizable"):
+                d.resize((8,))
+
+    def test_rank_and_sign_validation(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(4, 4), dtype="f8",
+                                 layout="chunked", chunks=(2, 2))
+            with pytest.raises(H5TypeError):
+                d.resize((8,))
+            with pytest.raises(H5TypeError):
+                d.resize((-1, 4))
+
+
+class TestDeletion:
+    def test_delete_unlinks(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("keep", shape=(4,), data=[1.0, 2, 3, 4])
+            f.create_dataset("drop", shape=(4,), data=[5.0, 6, 7, 8])
+            del f.root["drop"]
+            assert f.keys() == ["keep"]
+        with H5File(fs, "/a.h5", "r") as f:
+            assert f.keys() == ["keep"]
+            np.testing.assert_array_equal(f["keep"].read(), [1, 2, 3, 4])
+
+    def test_delete_missing_raises(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            with pytest.raises(H5NameError):
+                f.root.delete("ghost")
+
+    def test_delete_frees_contiguous_data(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("big", shape=(10_000,), dtype="f8",
+                             data=np.zeros(10_000))
+            eof_before = f.allocator.eof
+            del f.root["big"]
+            # The data block and header return to the allocator — here the
+            # freed tail collapses straight into an EOF shrink.
+            reclaimed = (eof_before - f.allocator.eof) + f.allocator.free_bytes
+            assert reclaimed >= 80_000
+
+    def test_delete_frees_chunked_data_and_index(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("c", shape=(1000,), dtype="f8",
+                             layout="chunked", chunks=(100,),
+                             data=np.zeros(1000))
+            eof_before = f.allocator.eof
+            del f.root["c"]
+            # 10 chunks of 800 B plus the index node(s) and header.
+            reclaimed = (eof_before - f.allocator.eof) + f.allocator.free_bytes
+            assert reclaimed >= 8000
+
+    def test_freed_hole_reused_by_new_objects(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("old", shape=(5000,), dtype="f8",
+                             data=np.zeros(5000))
+            # Anchor keeps EOF above the hole the deletion will open.
+            f.create_dataset("anchor", shape=(2048,), dtype="f8",
+                             data=np.zeros(2048))
+            eof_full = f.allocator.eof
+            del f.root["old"]
+            assert f.allocator.free_bytes >= 40_000  # a genuine hole
+            # A new small dataset's header fits in the hole: EOF stable
+            # apart from its freshly appended raw data block.
+            f.create_dataset("new", shape=(4,), dtype="f8", data=np.zeros(4))
+            assert f.allocator.eof <= eof_full + 4 * 8
+
+    def test_recursive_group_delete(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("g/sub/d1", shape=(100,), dtype="f8",
+                             data=np.zeros(100))
+            f.create_dataset("g/d2", shape=(100,), dtype="f8",
+                             data=np.zeros(100))
+            del f.root["g"]
+            assert f.keys() == []
+        with H5File(fs, "/a.h5", "r") as f:
+            assert f.keys() == []
+
+    def test_stale_handle_after_delete(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(4,), data=[1.0, 2, 3, 4])
+            del f.root["d"]
+            with pytest.raises(H5StateError, match="stale"):
+                d.read()
+
+    def test_delete_read_only_rejected(self):
+        fs = make_fs()
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("d", shape=(1,), data=[1.0])
+        with H5File(fs, "/a.h5", "r") as f:
+            with pytest.raises(H5StateError):
+                f.root.delete("d")
+
+
+class TestCorruptionHandling:
+    def _valid_file(self, fs):
+        with H5File(fs, "/a.h5", "w") as f:
+            f.create_dataset("d", shape=(4,), data=[1.0, 2, 3, 4])
+
+    def test_corrupted_superblock_signature(self):
+        fs = make_fs()
+        self._valid_file(fs)
+        store = fs.store_of("/a.h5")
+        store.write(0, b"XXXX")
+        with pytest.raises(H5FormatError, match="signature"):
+            H5File(fs, "/a.h5", "r")
+
+    def test_corrupted_root_header(self):
+        fs = make_fs()
+        self._valid_file(fs)
+        from repro.hdf5.format import SUPERBLOCK_SIZE
+        fs.store_of("/a.h5").write(SUPERBLOCK_SIZE, b"GARBAGE!")
+        with pytest.raises(H5FormatError):
+            H5File(fs, "/a.h5", "r")
+
+    def test_truncated_file(self):
+        fs = make_fs()
+        self._valid_file(fs)
+        fd = fs.open("/a.h5", "r+")
+        fs.truncate(fd, 20)
+        fs.close(fd)
+        with pytest.raises(H5FormatError):
+            H5File(fs, "/a.h5", "r")
+
+    def test_empty_file(self):
+        fs = make_fs()
+        fd = fs.open("/empty.h5", "w")
+        fs.close(fd)
+        with pytest.raises(H5FormatError):
+            H5File(fs, "/empty.h5", "r")
+
+
+def _profiles_for_chain():
+    """a writes f1; b reads f1 writes f2; c reads f2.  Returned shuffled."""
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig())
+    with mapper.task("task_a") as ctx:
+        f = ctx.open(fs, "/f1.h5", "w")
+        f.create_dataset("x", shape=(8,), data=np.zeros(8))
+        f.close()
+    with mapper.task("task_b") as ctx:
+        f = ctx.open(fs, "/f1.h5", "r")
+        f["x"].read()
+        f.close()
+        g = ctx.open(fs, "/f2.h5", "w")
+        g.create_dataset("y", shape=(8,), data=np.ones(8))
+        g.close()
+    with mapper.task("task_c") as ctx:
+        f = ctx.open(fs, "/f2.h5", "r")
+        f["y"].read()
+        f.close()
+    profiles = list(mapper.profiles.values())
+    return [profiles[2], profiles[0], profiles[1]]  # shuffled
+
+
+class TestTaskOrderInference:
+    def test_dependency_dag_edges(self):
+        dag = dependency_dag(_profiles_for_chain())
+        assert dag.has_edge("task_a", "task_b")
+        assert dag.has_edge("task_b", "task_c")
+        assert not dag.has_edge("task_a", "task_c")
+        assert dag.edges["task_a", "task_b"]["file"] == "/f1.h5"
+
+    def test_order_recovered_from_shuffled_profiles(self):
+        order = infer_task_order(_profiles_for_chain())
+        assert order == ["task_a", "task_b", "task_c"]
+
+    def test_independent_tasks_tie_break_by_time(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        for name in ("first", "second"):
+            with mapper.task(name) as ctx:
+                f = ctx.open(fs, f"/{name}.h5", "w")
+                f.create_dataset("d", shape=(2,), data=[1.0, 2.0])
+                f.close()
+        order = infer_task_order(list(mapper.profiles.values())[::-1])
+        assert order == ["first", "second"]
+
+    def test_writer_also_reading_own_output_no_self_edge(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("selfish") as ctx:
+            f = ctx.open(fs, "/s.h5", "w")
+            d = f.create_dataset("d", shape=(4,), data=np.zeros(4))
+            d.read()
+            f.close()
+        dag = dependency_dag(list(mapper.profiles.values()))
+        assert list(dag.edges) == []
+
+    def test_cycle_detected(self):
+        """Two tasks passing data in both directions is a cycle."""
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+        mapper = DataSemanticMapper(clock, DaYuConfig())
+        with mapper.task("ping") as ctx:
+            f = ctx.open(fs, "/ab.h5", "w")
+            f.create_dataset("d", shape=(2,), data=[1.0, 2.0])
+            f.close()
+        with mapper.task("pong") as ctx:
+            f = ctx.open(fs, "/ab.h5", "r+")
+            f["d"].read()
+            f.close()
+            g = ctx.open(fs, "/ba.h5", "w")
+            g.create_dataset("d", shape=(2,), data=[3.0, 4.0])
+            g.close()
+        with mapper.task("ping2") as ctx:
+            # "ping2" reads pong's file AND rewrites ping's file, then we
+            # rename the profile to look like ping continuing — easier to
+            # fabricate the cycle directly:
+            pass
+        profiles = list(mapper.profiles.values())
+        # Fabricate: make 'ping' also read /ba.h5 AFTER pong wrote it.
+        from repro.mapper.stats import DatasetIoStats
+        s = DatasetIoStats(task="ping", file="/ba.h5", data_object="/d")
+        s.reads = 1
+        s.bytes_read = 16
+        s.first_start = clock.now + 100  # after pong's write
+        profiles[0].dataset_stats.append(s)
+        with pytest.raises(CyclicDependencyError):
+            infer_task_order(profiles)
+
+    def test_ftg_with_inferred_order(self):
+        """The inferred order feeds straight into build_ftg's task_order."""
+        from repro.analyzer import build_ftg, task_node
+
+        profiles = _profiles_for_chain()
+        order = infer_task_order(profiles)
+        ftg = build_ftg(profiles, task_order=order)
+        assert ftg.nodes[task_node("task_a")]["order"] == 0
+        assert ftg.nodes[task_node("task_c")]["order"] == 2

@@ -1,0 +1,118 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simclock import SimClock, TimeSpan
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_nan_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(float("nan"))
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_account_charging(self):
+        clock = SimClock()
+        clock.advance(1.0, account="io")
+        clock.advance(2.0, account="io")
+        clock.advance(4.0, account="compute")
+        assert clock.account("io") == 3.0
+        assert clock.account("compute") == 4.0
+        assert clock.account("missing") == 0.0
+
+    def test_accounts_returns_copy(self):
+        clock = SimClock()
+        clock.advance(1.0, account="io")
+        accounts = clock.accounts()
+        accounts["io"] = 99.0
+        assert clock.account("io") == 1.0
+
+    def test_charge_without_advancing(self):
+        clock = SimClock()
+        clock.charge("overlapped", 2.5)
+        assert clock.now == 0.0
+        assert clock.account("overlapped") == 2.5
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("x", -1.0)
+
+    def test_span_captures_interval(self):
+        clock = SimClock()
+        with clock.span() as rec:
+            clock.advance(2.0)
+        assert rec == [0.0, 2.0]
+
+    def test_span_charges_account(self):
+        clock = SimClock()
+        with clock.span(account="phase"):
+            clock.advance(1.25)
+        assert clock.account("phase") == 1.25
+
+    def test_marks(self):
+        clock = SimClock()
+        clock.mark("start")
+        clock.advance(1.0)
+        clock.mark("end")
+        assert clock.marks == [("start", 0.0), ("end", 1.0)]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_monotonic_under_any_advances(self, steps):
+        clock = SimClock()
+        prev = clock.now
+        for s in steps:
+            clock.advance(s)
+            assert clock.now >= prev
+            prev = clock.now
+        assert clock.now == pytest.approx(sum(steps), rel=1e-9, abs=1e-9)
+
+
+class TestTimeSpan:
+    def test_duration(self):
+        assert TimeSpan(1.0, 3.5).duration == 2.5
+
+    def test_overlap_true(self):
+        assert TimeSpan(0.0, 2.0).overlaps(TimeSpan(1.0, 3.0))
+        assert TimeSpan(1.0, 3.0).overlaps(TimeSpan(0.0, 2.0))
+
+    def test_overlap_false_disjoint(self):
+        assert not TimeSpan(0.0, 1.0).overlaps(TimeSpan(2.0, 3.0))
+
+    def test_touching_spans_do_not_overlap(self):
+        assert not TimeSpan(0.0, 1.0).overlaps(TimeSpan(1.0, 2.0))

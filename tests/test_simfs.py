@@ -1,0 +1,235 @@
+"""Unit tests for the simulated POSIX filesystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.posix import SimFS
+from repro.posix.simfs import FsError
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+@pytest.fixture()
+def fs():
+    clock = SimClock()
+    return SimFS(
+        clock,
+        mounts=[
+            Mount("/pfs", make_device("beegfs")),
+            Mount("/local", make_device("nvme"), node="n0"),
+        ],
+    )
+
+
+class TestMountRouting:
+    def test_longest_prefix_wins(self, fs):
+        fs.add_mount(Mount("/pfs/fast", make_device("nvme")))
+        assert fs.mount_for("/pfs/fast/f.h5").device.spec.name == "nvme"
+        assert fs.mount_for("/pfs/f.h5").device.spec.name == "beegfs"
+
+    def test_unserved_path_raises(self, fs):
+        with pytest.raises(FsError):
+            fs.mount_for("/nowhere/f")
+
+    def test_duplicate_mount_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.add_mount(Mount("/pfs", make_device("nfs")))
+
+
+class TestOpenModes:
+    def test_w_creates(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        assert fs.exists("/pfs/a")
+        fs.close(fd)
+
+    def test_r_requires_existing(self, fs):
+        with pytest.raises(FsError):
+            fs.open("/pfs/missing", "r")
+
+    def test_x_exclusive(self, fs):
+        fd = fs.open("/pfs/a", "x")
+        fs.close(fd)
+        with pytest.raises(FsError):
+            fs.open("/pfs/a", "x")
+
+    def test_w_truncates(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"data")
+        fs.close(fd)
+        fd = fs.open("/pfs/a", "w")
+        assert fs.file_size(fd) == 0
+        fs.close(fd)
+
+    def test_a_appends(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"one")
+        fs.close(fd)
+        fd = fs.open("/pfs/a", "a")
+        fs.write(fd, b"two")
+        fs.close(fd)
+        fd = fs.open("/pfs/a", "r")
+        assert fs.read(fd, 10) == b"onetwo"
+        fs.close(fd)
+
+    def test_read_only_fd_rejects_write(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.close(fd)
+        fd = fs.open("/pfs/a", "r")
+        with pytest.raises(FsError):
+            fs.write(fd, b"nope")
+        fs.close(fd)
+
+    def test_bad_mode_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.open("/pfs/a", "rw")
+
+    def test_bad_fd_rejected(self, fs):
+        with pytest.raises(FsError):
+            fs.read(999, 1)
+
+
+class TestPositionalIo:
+    def test_pwrite_pread_roundtrip(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.pwrite(fd, b"hello world", 100)
+        assert fs.pread(fd, 5, 106) == b"world"
+        fs.close(fd)
+
+    def test_sequential_offsets_advance(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"abc")
+        fs.write(fd, b"def")
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 6) == b"abcdef"
+        fs.close(fd)
+
+    def test_lseek_negative_rejected(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        with pytest.raises(FsError):
+            fs.lseek(fd, -1)
+        fs.close(fd)
+
+    def test_truncate_via_fd(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"abcdef")
+        fs.truncate(fd, 2)
+        assert fs.file_size(fd) == 2
+        fs.close(fd)
+
+
+class TestNamespace:
+    def test_unlink(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.close(fd)
+        fs.unlink("/pfs/a")
+        assert not fs.exists("/pfs/a")
+
+    def test_unlink_missing_raises(self, fs):
+        with pytest.raises(FsError):
+            fs.unlink("/pfs/zzz")
+
+    def test_rename(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"x")
+        fs.close(fd)
+        fs.rename("/pfs/a", "/pfs/b")
+        assert not fs.exists("/pfs/a")
+        assert fs.stat("/pfs/b").size == 1
+
+    def test_listdir(self, fs):
+        for name in ("/pfs/d/x", "/pfs/d/y", "/pfs/other"):
+            fs.close(fs.open(name, "w"))
+        assert fs.listdir("/pfs/d") == ["/pfs/d/x", "/pfs/d/y"]
+
+    def test_stat_reports_device(self, fs):
+        fd = fs.open("/local/f", "w")
+        fs.write(fd, b"1234")
+        fs.close(fd)
+        st_ = fs.stat("/local/f")
+        assert st_.size == 4
+        assert st_.device == "nvme"
+
+
+class TestTimingAndLog:
+    def test_io_advances_clock(self, fs):
+        before = fs.clock.now
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"x" * 1024)
+        fs.close(fd)
+        assert fs.clock.now > before
+        assert fs.clock.account(SimFS.IO_ACCOUNT) > 0
+
+    def test_op_log_records_everything(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.pwrite(fd, b"x" * 10, 0)
+        fs.pread(fd, 10, 0)
+        fs.close(fd)
+        assert [r.op for r in fs.op_log] == ["write", "read"]
+        rec = fs.op_log[0]
+        assert rec.path == "/pfs/a"
+        assert rec.nbytes == 10
+        assert rec.device == "beegfs"
+        assert rec.cost > 0
+
+    def test_log_suppression(self):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))], log_ops=False)
+        fd = fs.open("/a", "w")
+        fs.write(fd, b"data")
+        fs.close(fd)
+        assert fs.op_log == []
+        assert clock.now > 0  # timing still accrues
+
+    def test_io_time_filter_by_path(self, fs):
+        fa = fs.open("/pfs/a", "w")
+        fb = fs.open("/pfs/b", "w")
+        fs.write(fa, b"x" * 100)
+        fs.write(fb, b"y" * 100)
+        fs.close(fa)
+        fs.close(fb)
+        assert fs.io_time("/pfs/a") > 0
+        assert fs.io_time() == pytest.approx(fs.io_time("/pfs/a") + fs.io_time("/pfs/b"))
+
+    def test_op_count_filters(self, fs):
+        fd = fs.open("/pfs/a", "w")
+        fs.write(fd, b"1")
+        fs.write(fd, b"2")
+        fs.lseek(fd, 0)
+        fs.read(fd, 2)
+        fs.close(fd)
+        assert fs.op_count(op="write") == 2
+        assert fs.op_count(op="read") == 1
+        assert fs.op_count(path="/pfs/a") == 3
+
+    def test_faster_device_costs_less(self):
+        def one_write(device):
+            clock = SimClock()
+            fs = SimFS(clock, mounts=[Mount("/", make_device(device))])
+            fd = fs.open("/f", "w")
+            fs.write(fd, b"z" * (1 << 20))
+            fs.close(fd)
+            return clock.now
+
+        assert one_write("nvme") < one_write("sata_ssd") < one_write("nfs")
+
+
+class TestPropertyRoundtrip:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 512), st.binary(min_size=1, max_size=128)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_pwrite_pread_reference_model(self, writes):
+        clock = SimClock()
+        fs = SimFS(clock, mounts=[Mount("/", make_device("ram"))])
+        fd = fs.open("/f", "w")
+        ref = bytearray()
+        for off, data in writes:
+            fs.pwrite(fd, data, off)
+            if off + len(data) > len(ref):
+                ref.extend(b"\x00" * (off + len(data) - len(ref)))
+            ref[off : off + len(data)] = data
+        assert fs.pread(fd, len(ref), 0) == bytes(ref)
+        fs.close(fd)

@@ -1,0 +1,254 @@
+"""Unit tests for the storage substrate: devices, block store, mounts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import (
+    DEVICE_CATALOG,
+    BlockStore,
+    DeviceSpec,
+    Mount,
+    StorageDevice,
+    make_device,
+)
+
+
+class TestDeviceCatalog:
+    def test_expected_devices_present(self):
+        # Table III storage options + the RAM buffering tier.
+        for name in ("ram", "nvme", "sata_ssd", "hdd", "nfs", "beegfs", "lustre"):
+            assert name in DEVICE_CATALOG
+
+    def test_shared_flags(self):
+        assert DEVICE_CATALOG["nfs"].shared
+        assert DEVICE_CATALOG["beegfs"].shared
+        assert not DEVICE_CATALOG["nvme"].shared
+
+    def test_tier_ordering_latency(self):
+        # Faster tiers must have lower latency: ram < nvme < sata < nfs-ish.
+        c = DEVICE_CATALOG
+        assert c["ram"].read_latency < c["nvme"].read_latency
+        assert c["nvme"].read_latency < c["sata_ssd"].read_latency
+        assert c["sata_ssd"].read_latency < c["hdd"].read_latency
+
+    def test_tier_ordering_bandwidth(self):
+        c = DEVICE_CATALOG
+        assert c["ram"].read_bandwidth > c["nvme"].read_bandwidth
+        assert c["nvme"].read_bandwidth > c["sata_ssd"].read_bandwidth
+
+    def test_make_device_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            make_device("floppy")
+
+
+class TestDeviceSpecValidation:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0.0, 0.0, 0.0, 1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", -1.0, 0.0, 1.0, 1.0)
+
+    def test_rejects_bad_contention_share(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0.0, 0.0, 1.0, 1.0, contention_share=1.5)
+
+
+class TestStorageDeviceCosts:
+    def test_cost_includes_latency_and_transfer(self):
+        dev = make_device("nvme")
+        spec = dev.spec
+        cost = dev.read_cost("f", 0, 1024)
+        assert cost == pytest.approx(spec.read_latency + 1024 / spec.read_bandwidth)
+
+    def test_sequential_access_avoids_seek(self):
+        dev = make_device("hdd")
+        first = dev.read_cost("f", 0, 4096)
+        second = dev.read_cost("f", 4096, 4096)  # continues where first ended
+        assert second == pytest.approx(first)
+        assert dev.counters.seeks == 0
+
+    def test_random_access_pays_seek(self):
+        dev = make_device("hdd")
+        dev.read_cost("f", 0, 4096)
+        jumped = dev.read_cost("f", 10_000_000, 4096)
+        assert jumped > dev.spec.read_latency + 4096 / dev.spec.read_bandwidth
+        assert dev.counters.seeks == 1
+
+    def test_streams_tracked_independently(self):
+        dev = make_device("hdd")
+        dev.read_cost("a", 0, 100)
+        dev.read_cost("b", 5000, 100)  # first access on stream b: no seek
+        assert dev.counters.seeks == 0
+
+    def test_forget_stream_resets_sequentiality(self):
+        dev = make_device("hdd")
+        dev.read_cost("a", 0, 100)
+        dev.forget_stream("a")
+        dev.read_cost("a", 9999, 100)
+        assert dev.counters.seeks == 0
+
+    def test_counters_accumulate(self):
+        dev = make_device("nvme")
+        dev.read_cost("f", 0, 100)
+        dev.write_cost("f", 100, 200)
+        assert dev.counters.read_ops == 1
+        assert dev.counters.write_ops == 1
+        assert dev.counters.read_bytes == 100
+        assert dev.counters.write_bytes == 200
+        assert dev.counters.total_ops == 2
+        assert dev.counters.total_bytes == 300
+        assert dev.counters.busy_seconds > 0
+
+    def test_counter_snapshot_delta(self):
+        dev = make_device("nvme")
+        dev.read_cost("f", 0, 100)
+        snap = dev.counters.snapshot()
+        dev.write_cost("f", 100, 50)
+        delta = dev.counters.delta(snap)
+        assert delta.read_ops == 0
+        assert delta.write_ops == 1
+        assert delta.write_bytes == 50
+
+    def test_reset_counters(self):
+        dev = make_device("nvme")
+        dev.read_cost("f", 0, 100)
+        dev.reset_counters()
+        assert dev.counters.total_ops == 0
+
+    def test_negative_offset_rejected(self):
+        dev = make_device("nvme")
+        with pytest.raises(ValueError):
+            dev.read_cost("f", -1, 10)
+
+
+class TestContention:
+    def test_default_concurrency_is_one(self):
+        dev = make_device("beegfs")
+        assert dev.concurrency == 1
+        assert dev.contention_factor() == 1.0
+
+    def test_shared_device_slows_under_concurrency(self):
+        dev = make_device("beegfs")
+        solo = dev.read_cost("f", 0, 1 << 20)
+        dev.forget_stream("f")
+        dev.set_concurrency(8)
+        contended = dev.read_cost("f", 0, 1 << 20)
+        assert contended > solo
+
+    def test_contention_factor_formula(self):
+        dev = make_device("nfs")
+        share = dev.spec.contention_share
+        assert dev.contention_factor(4) == pytest.approx(1.0 + share * 3)
+
+    def test_ram_is_contention_free(self):
+        dev = make_device("ram")
+        assert dev.contention_factor(64) == 1.0
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            make_device("nfs").set_concurrency(0)
+
+    @given(st.integers(min_value=1, max_value=512))
+    def test_contention_monotone_in_n(self, n):
+        dev = make_device("beegfs")
+        assert dev.contention_factor(n + 1) >= dev.contention_factor(n)
+
+
+class TestBlockStore:
+    def test_empty_store(self):
+        s = BlockStore()
+        assert s.size == 0
+        assert s.read(0, 10) == b""
+
+    def test_write_then_read(self):
+        s = BlockStore()
+        s.write(0, b"hello")
+        assert s.read(0, 5) == b"hello"
+
+    def test_write_extends_with_zero_fill(self):
+        s = BlockStore()
+        s.write(10, b"xy")
+        assert s.size == 12
+        assert s.read(0, 10) == b"\x00" * 10
+
+    def test_partial_read_at_eof(self):
+        s = BlockStore()
+        s.write(0, b"abc")
+        assert s.read(1, 100) == b"bc"
+
+    def test_truncate_shrink(self):
+        s = BlockStore()
+        s.write(0, b"abcdef")
+        s.truncate(3)
+        assert s.size == 3
+        assert s.read(0, 10) == b"abc"
+
+    def test_truncate_grow(self):
+        s = BlockStore()
+        s.truncate(4)
+        assert s.read(0, 4) == b"\x00\x00\x00\x00"
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            BlockStore().write(-1, b"x")
+
+    def test_write_extents_chronological(self):
+        s = BlockStore()
+        s.write(0, b"aa")
+        s.write(10, b"bb")
+        assert s.write_extents == [(0, 2), (10, 2)]
+
+    def test_coalesced_extents_merges_adjacent(self):
+        s = BlockStore()
+        s.write(0, b"aa")
+        s.write(2, b"bb")
+        s.write(10, b"cc")
+        assert s.coalesced_extents() == [(0, 4), (10, 2)]
+
+    def test_coalesced_extents_empty(self):
+        assert BlockStore().coalesced_extents() == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.binary(min_size=1, max_size=64)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_readback_matches_reference(self, writes):
+        """Property: BlockStore agrees with a plain bytearray reference model."""
+        s = BlockStore()
+        ref = bytearray()
+        for off, data in writes:
+            s.write(off, data)
+            if off + len(data) > len(ref):
+                ref.extend(b"\x00" * (off + len(data) - len(ref)))
+            ref[off : off + len(data)] = data
+        assert s.size == len(ref)
+        assert s.read(0, len(ref)) == bytes(ref)
+
+
+class TestMount:
+    def test_prefix_normalization(self):
+        m = Mount("/scratch/", make_device("nvme"), node="n0")
+        assert m.prefix == "/scratch"
+
+    def test_relative_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Mount("scratch", make_device("nvme"))
+
+    def test_shared_when_no_node(self):
+        assert Mount("/pfs", make_device("beegfs")).shared
+        assert not Mount("/local", make_device("nvme"), node="n0").shared
+
+    def test_matches_exact_and_children(self):
+        m = Mount("/pfs", make_device("beegfs"))
+        assert m.matches("/pfs")
+        assert m.matches("/pfs/a/b.h5")
+        assert not m.matches("/pfsx/file")
+
+    def test_root_mount_matches_everything(self):
+        m = Mount("/", make_device("nfs"))
+        assert m.matches("/anything/at/all")

@@ -1,0 +1,253 @@
+"""Unit tests for the VFD layer: sec2 driver, channel, tracing profiler."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.vfd import (
+    IoClass,
+    Sec2VFD,
+    TracingVFD,
+    VfdIoRecord,
+    VfdTracer,
+    VolVfdChannel,
+)
+from repro.vfd.tracing import ACCESS_TRACKER_ACCOUNT
+
+
+@pytest.fixture()
+def fs():
+    return SimFS(SimClock(), mounts=[Mount("/", make_device("nvme"))])
+
+
+class TestSec2VFD:
+    def test_write_read_roundtrip(self, fs):
+        vfd = Sec2VFD(fs, "/f.h5", "w")
+        vfd.write(0, b"signature", IoClass.METADATA)
+        assert vfd.read(0, 9, IoClass.METADATA) == b"signature"
+        vfd.close()
+
+    def test_eof_tracks_writes(self, fs):
+        vfd = Sec2VFD(fs, "/f.h5", "w")
+        assert vfd.get_eof() == 0
+        vfd.write(100, b"xx", IoClass.RAW)
+        assert vfd.get_eof() == 102
+        vfd.close()
+
+    def test_truncate(self, fs):
+        vfd = Sec2VFD(fs, "/f.h5", "w")
+        vfd.write(0, b"abcdef", IoClass.RAW)
+        vfd.truncate(3)
+        assert vfd.get_eof() == 3
+        vfd.close()
+
+    def test_use_after_close_raises(self, fs):
+        vfd = Sec2VFD(fs, "/f.h5", "w")
+        vfd.close()
+        with pytest.raises(ValueError):
+            vfd.read(0, 1, IoClass.RAW)
+
+    def test_close_idempotent(self, fs):
+        vfd = Sec2VFD(fs, "/f.h5", "w")
+        vfd.close()
+        vfd.close()  # must not raise
+
+
+class TestVolVfdChannel:
+    def test_initially_empty(self):
+        ch = VolVfdChannel()
+        assert ch.current_task is None
+        assert ch.current_object is None
+        assert ch.depth == 0
+
+    def test_task_announcement(self):
+        ch = VolVfdChannel()
+        ch.set_task("stage1")
+        assert ch.current_task == "stage1"
+        ch.set_task(None)
+        assert ch.current_task is None
+
+    def test_object_scope_nesting(self):
+        ch = VolVfdChannel()
+        with ch.object_scope("/g/dset_a"):
+            assert ch.current_object == "/g/dset_a"
+            with ch.object_scope("/g/dset_b"):
+                assert ch.current_object == "/g/dset_b"
+            assert ch.current_object == "/g/dset_a"
+        assert ch.current_object is None
+
+    def test_scope_restored_on_error(self):
+        ch = VolVfdChannel()
+        with pytest.raises(RuntimeError):
+            with ch.object_scope("/d"):
+                raise RuntimeError("boom")
+        assert ch.depth == 0
+
+    def test_pop_underflow(self):
+        with pytest.raises(RuntimeError):
+            VolVfdChannel().pop_object()
+
+
+@pytest.fixture()
+def traced(fs):
+    channel = VolVfdChannel()
+    channel.set_task("taskA")
+    tracer = VfdTracer(fs.clock, channel)
+    vfd = TracingVFD(Sec2VFD(fs, "/f.h5", "w"), tracer)
+    return vfd, tracer, channel
+
+
+class TestTracingVFD:
+    def test_records_carry_table2_fields(self, traced):
+        vfd, tracer, channel = traced
+        with channel.object_scope("/dset"):
+            vfd.write(0, b"x" * 64, IoClass.RAW)
+        vfd.close()
+        [rec] = tracer.records
+        assert rec.task == "taskA"
+        assert rec.file == "/f.h5"
+        assert rec.op == "write"
+        assert rec.offset == 0
+        assert rec.nbytes == 64
+        assert rec.access_type is IoClass.RAW
+        assert rec.data_object == "/dset"
+        assert rec.duration > 0
+
+    def test_io_without_object_scope_untagged(self, traced):
+        vfd, tracer, _ = traced
+        vfd.write(0, b"hdr", IoClass.METADATA)
+        vfd.close()
+        assert tracer.records[0].data_object is None
+
+    def test_session_lifetime(self, traced):
+        vfd, tracer, _ = traced
+        vfd.write(0, b"x", IoClass.RAW)
+        vfd.close()
+        [session] = tracer.sessions
+        assert session.task == "taskA"
+        assert session.close_time is not None
+        assert session.lifetime > 0
+
+    def test_session_statistics(self, traced):
+        vfd, tracer, channel = traced
+        with channel.object_scope("/a"):
+            vfd.write(0, b"x" * 10, IoClass.RAW)
+            vfd.write(10, b"y" * 10, IoClass.RAW)  # sequential
+            vfd.write(100, b"z" * 5, IoClass.METADATA)  # jump
+        vfd.close()
+        [s] = tracer.sessions
+        assert s.write_ops == 3
+        assert s.write_bytes == 25
+        assert s.sequential_ops == 1
+        assert s.metadata_ops == 1
+        assert s.raw_ops == 2
+        assert s.data_objects == ["/a"]
+        assert 0 < s.sequential_fraction < 1
+
+    def test_tracker_overhead_charged(self, traced):
+        vfd, tracer, _ = traced
+        vfd.write(0, b"x", IoClass.RAW)
+        vfd.close()
+        # open + close + 1 record
+        expected = 2 * tracer.costs.per_session_event + tracer.costs.per_io_record
+        assert tracer.clock.account(ACCESS_TRACKER_ACCOUNT) == pytest.approx(expected)
+
+    def test_trace_io_off_keeps_sessions_only(self, fs):
+        channel = VolVfdChannel()
+        tracer = VfdTracer(fs.clock, channel, trace_io=False)
+        vfd = TracingVFD(Sec2VFD(fs, "/f.h5", "w"), tracer)
+        vfd.write(0, b"x" * 100, IoClass.RAW)
+        vfd.close()
+        assert tracer.records == []
+        assert tracer.sessions[0].write_ops == 1
+
+    def test_skip_ops(self, fs):
+        channel = VolVfdChannel()
+        tracer = VfdTracer(fs.clock, channel, skip_ops=2)
+        vfd = TracingVFD(Sec2VFD(fs, "/f.h5", "w"), tracer)
+        for i in range(5):
+            vfd.write(i * 10, b"x", IoClass.RAW)
+        vfd.close()
+        assert len(tracer.records) == 3  # first 2 skipped
+        # Sessions still see all 5 ops.
+        assert tracer.sessions[0].write_ops == 5
+
+    def test_negative_skip_rejected(self, fs):
+        with pytest.raises(ValueError):
+            VfdTracer(fs.clock, VolVfdChannel(), skip_ops=-1)
+
+    def test_serialization_is_valid_json(self, traced):
+        vfd, tracer, _ = traced
+        vfd.write(0, b"x" * 10, IoClass.RAW)
+        vfd.close()
+        payload = json.loads(tracer.serialize())
+        assert len(payload["records"]) == 1
+        assert len(payload["sessions"]) == 1
+        assert tracer.storage_bytes == len(tracer.serialize())
+
+    def test_storage_grows_with_records(self, fs):
+        channel = VolVfdChannel()
+        tracer = VfdTracer(fs.clock, channel)
+        vfd = TracingVFD(Sec2VFD(fs, "/f.h5", "w"), tracer)
+        vfd.write(0, b"x", IoClass.RAW)
+        small = tracer.storage_bytes
+        for i in range(50):
+            vfd.write(i, b"x", IoClass.RAW)
+        assert tracer.storage_bytes > small
+        vfd.close()
+
+    def test_region_histogram(self, fs):
+        channel = VolVfdChannel()
+        tracer = VfdTracer(fs.clock, channel)
+        vfd = TracingVFD(Sec2VFD(fs, "/f.h5", "w"), tracer)
+        vfd.write(0, b"x" * 4096, IoClass.RAW)  # page 0
+        vfd.write(4096, b"x" * 10, IoClass.RAW)  # page 1
+        vfd.write(4000, b"x" * 200, IoClass.RAW)  # spans pages 0-1
+        vfd.close()
+        hist = tracer.region_histogram("/f.h5", 4096)
+        assert hist == {0: 2, 1: 2}
+
+    def test_passthrough_data_integrity(self, traced):
+        vfd, _, _ = traced
+        vfd.write(5, b"hello", IoClass.RAW)
+        assert vfd.read(5, 5, IoClass.RAW) == b"hello"
+        vfd.close()
+
+
+class TestVfdIoRecord:
+    def test_region_single_page(self):
+        rec = VfdIoRecord(None, "f", "read", 0, 100, 0.0, 1.0, IoClass.RAW, None)
+        assert rec.region(4096) == (0, 0)
+
+    def test_region_spanning(self):
+        rec = VfdIoRecord(None, "f", "read", 4090, 100, 0.0, 1.0, IoClass.RAW, None)
+        assert rec.region(4096) == (0, 1)
+
+    def test_region_zero_bytes(self):
+        rec = VfdIoRecord(None, "f", "read", 8192, 0, 0.0, 1.0, IoClass.RAW, None)
+        assert rec.region(4096) == (2, 2)
+
+    def test_region_bad_page_size(self):
+        rec = VfdIoRecord(None, "f", "read", 0, 1, 0.0, 1.0, IoClass.RAW, None)
+        with pytest.raises(ValueError):
+            rec.region(0)
+
+    def test_bandwidth(self):
+        rec = VfdIoRecord(None, "f", "read", 0, 1000, 0.0, 2.0, IoClass.RAW, None)
+        assert rec.bandwidth == 500.0
+
+    def test_bandwidth_zero_duration(self):
+        rec = VfdIoRecord(None, "f", "read", 0, 1000, 0.0, 0.0, IoClass.RAW, None)
+        assert rec.bandwidth == 0.0
+
+    @given(st.integers(0, 1 << 30), st.integers(0, 1 << 20), st.integers(1, 1 << 16))
+    def test_region_invariants(self, offset, nbytes, page):
+        rec = VfdIoRecord(None, "f", "read", offset, nbytes, 0.0, 1.0, IoClass.RAW, None)
+        first, last = rec.region(page)
+        assert first <= last
+        assert first * page <= offset
+        assert last * page <= offset + max(nbytes - 1, 0)

@@ -1,0 +1,244 @@
+"""Unit tests for the VOL profiler and its wrapper objects."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hdf5 import Selection
+from repro.posix import SimFS
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+from repro.vfd import IoClass, VfdTracer, VolVfdChannel
+from repro.vol import VolFile, VolTracer
+from repro.vol.tracer import VOL_TRACKER_ACCOUNT
+
+
+@pytest.fixture()
+def env():
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("ram"))])
+    channel = VolVfdChannel()
+    channel.set_task("task0")
+    vol = VolTracer(clock, channel)
+    vfd = VfdTracer(clock, channel)
+    return fs, channel, vol, vfd
+
+
+def open_file(env, path="/f.h5", mode="w"):
+    fs, channel, vol, vfd = env
+    return VolFile(fs, path, mode, vol=vol, vfd_tracer=vfd)
+
+
+class TestVolProfiles:
+    def test_table1_semantics_captured(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        d = f.create_dataset("temps", shape=(64,), dtype="f8",
+                             data=np.zeros(64))
+        d.read()
+        f.close()
+        [p] = [p for p in vol.profiles if p.object_name == "/temps"]
+        assert p.task == "task0"
+        assert p.file == "/f.h5"
+        assert p.shape == (64,)
+        assert p.dtype == "f8"
+        assert p.layout == "contiguous"
+        assert p.nbytes == 512
+        assert p.writes == 1 and p.reads == 1
+        assert p.elements_written == 64 and p.elements_read == 64
+        assert p.access_kind == "read_write"
+        assert p.lifetime is not None and p.lifetime > 0
+
+    def test_deferred_logging_until_file_close(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        d = f.create_dataset("d", shape=(4,), dtype="i4", data=[1, 2, 3, 4])
+        d.close()  # dataset closed but file still open
+        assert vol.profiles == []  # not yet emitted
+        assert len(vol.all_profiles()) == 1
+        f.close()
+        assert len(vol.profiles) == 1
+
+    def test_reopen_merges_into_one_profile(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("d", shape=(4,), dtype="i4", data=[0, 0, 0, 0])
+        for _ in range(5):
+            f["d"].read()  # each lookup opens a fresh handle
+        f.close()
+        profiles = [p for p in vol.profiles if p.object_name == "/d"]
+        assert len(profiles) == 1
+        assert profiles[0].open_count == 6
+        assert profiles[0].reads == 5
+
+    def test_access_kinds(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("w_only", shape=(2,), dtype="i4", data=[1, 2])
+        r = f.create_dataset("rw", shape=(2,), dtype="i4", data=[1, 2])
+        r.read()
+        f.close()
+        kinds = {p.object_name: p.access_kind for p in vol.profiles}
+        assert kinds["/w_only"] == "write_only"
+        assert kinds["/rw"] == "read_write"
+
+    def test_files_touched(self, env):
+        fs, channel, vol, vfd = env
+        open_file(env, "/a.h5").close()
+        open_file(env, "/b.h5").close()
+        assert vol.files_touched == ["/a.h5", "/b.h5"]
+
+    def test_partial_access_element_counts(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        d = f.create_dataset("d", shape=(100,), dtype="f8", data=np.zeros(100))
+        d.read(Selection.hyperslab(((10, 25),)))
+        f.close()
+        [p] = [p for p in vol.profiles if p.object_name == "/d"]
+        assert p.elements_read == 25
+
+    def test_overhead_account_charged(self, env):
+        fs, channel, vol, vfd = env
+        clock = vol.clock
+        f = open_file(env)
+        f.create_dataset("d", shape=(4,), dtype="i4", data=[1, 2, 3, 4])
+        f.close()
+        assert clock.account(VOL_TRACKER_ACCOUNT) > 0
+
+    def test_serialization(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("d", shape=(4,), dtype="i4", data=[1, 2, 3, 4])
+        f.close()
+        payload = json.loads(vol.serialize())
+        assert payload["files"] == ["/f.h5"]
+        assert payload["profiles"][0]["object"] == "/d"
+        assert vol.storage_bytes > 0
+
+    def test_bad_access_op_rejected(self, env):
+        fs, channel, vol, vfd = env
+        with pytest.raises(ValueError):
+            vol.on_access("/f", "/d", "append", 1, 1)
+
+
+class TestVolVfdMapping:
+    """The core Characteristic-Mapper prerequisite: VFD records are tagged
+    with the data object the VOL announced via shared memory."""
+
+    def test_dataset_io_tagged_with_object(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("mydata", shape=(128,), dtype="f8",
+                         data=np.ones(128))
+        f.close()
+        raw = [r for r in vfd.records if r.access_type is IoClass.RAW]
+        assert raw, "expected raw data records"
+        assert all(r.data_object == "/mydata" for r in raw if r.nbytes == 1024)
+
+    def test_file_level_metadata_untagged(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.close()
+        meta = [r for r in vfd.records if r.access_type is IoClass.METADATA]
+        assert meta, "expected metadata records (superblock, root header)"
+        assert all(r.data_object is None for r in meta)
+
+    def test_dataset_metadata_tagged(self, env):
+        """Chunk-index I/O performed during a dataset access carries the
+        dataset's name: the mapping survives nesting."""
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("c", shape=(100,), dtype="f8",
+                         layout="chunked", chunks=(10,), data=np.zeros(100))
+        f.close()
+        tagged_meta = [
+            r for r in vfd.records
+            if r.access_type is IoClass.METADATA and r.data_object == "/c"
+        ]
+        assert tagged_meta, "B-tree writes should be tagged with the dataset"
+
+    def test_task_name_propagates_to_both_layers(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("d", shape=(4,), dtype="i4", data=[1, 2, 3, 4])
+        f.close()
+        assert all(r.task == "task0" for r in vfd.records)
+        assert all(p.task == "task0" for p in vol.profiles)
+
+    def test_vlen_heap_io_tagged(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.create_dataset("v", shape=(8,), dtype="vlen-bytes",
+                         data=[b"x" * 50] * 8)
+        f.close()
+        heap_writes = [
+            r for r in vfd.records
+            if r.access_type is IoClass.RAW and r.data_object == "/v"
+        ]
+        assert len(heap_writes) >= 8  # per-element heap writes + refs
+
+
+class TestVolWrapperApi:
+    def test_group_navigation(self, env):
+        f = open_file(env)
+        g = f.create_group("g")
+        g.create_dataset("d", shape=(2,), dtype="i4", data=[5, 6])
+        assert "g" in f
+        assert f["g"].keys() == ["d"]
+        assert len(f["g"]) == 1
+        np.testing.assert_array_equal(f["g/d"].read(), [5, 6])
+        f.close()
+
+    def test_require_group(self, env):
+        f = open_file(env)
+        f.require_group("x")
+        assert f.require_group("x").name == "/x"
+        f.close()
+
+    def test_dataset_properties_delegate(self, env):
+        f = open_file(env)
+        d = f.create_dataset("d", shape=(4, 4), dtype="f4",
+                             layout="chunked", chunks=(2, 2))
+        assert d.shape == (4, 4)
+        assert d.dtype.code == "f4"
+        assert d.chunks == (2, 2)
+        assert d.size == 16
+        assert d.layout_name == "chunked"
+        f.close()
+
+    def test_attrs_via_wrapper(self, env):
+        f = open_file(env)
+        d = f.create_dataset("d", shape=(1,))
+        d.attrs["note"] = "hello"
+        assert d.attrs["note"] == "hello"
+        f.close()
+
+    def test_ellipsis_io(self, env):
+        f = open_file(env)
+        d = f.create_dataset("d", shape=(3,), dtype="f8")
+        d[...] = np.arange(3.0)
+        np.testing.assert_array_equal(d[...], np.arange(3.0))
+        f.close()
+
+    def test_datasets_listing(self, env):
+        f = open_file(env)
+        f.create_dataset("a", shape=(1,))
+        f.create_dataset("b", shape=(1,))
+        f.create_group("g")
+        names = [d.name for d in f.root.datasets()]
+        assert names == ["/a", "/b"]
+        f.close()
+
+    def test_double_close_is_safe(self, env):
+        fs, channel, vol, vfd = env
+        f = open_file(env)
+        f.close()
+        f.close()
+        # Only one close event should have been recorded.
+        assert vol.files_touched.count("/f.h5") == 1
+
+    def test_context_manager(self, env):
+        with open_file(env) as f:
+            f.create_dataset("d", shape=(1,), data=[1.0])
+        assert f.closed
