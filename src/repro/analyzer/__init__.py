@@ -15,19 +15,34 @@ Connects data accesses to workflow tasks as decorated dependence graphs:
   interactive self-contained HTML/SVG and Graphviz DOT renderings.
 """
 
-from repro.analyzer.compare import RunComparison, compare_runs
+from repro.analyzer.compare import (
+    RunComparison,
+    RunSummary,
+    compare_runs,
+    summarize_run,
+)
 from repro.analyzer.dot_export import to_dot
 from repro.analyzer.graphs import (
+    GraphBuilder,
     NodeKind,
     build_ftg,
     build_sdg,
     dataset_node,
     file_node,
+    finalize_graph,
     mark_data_reuse,
+    merge_edge_stats,
+    opt_max,
+    opt_min,
     region_node,
     task_node,
 )
 from repro.analyzer.html_export import to_html
+from repro.analyzer.parallel import (
+    AnalysisResult,
+    ParallelAnalyzer,
+    merge_graph_inplace,
+)
 from repro.analyzer.ordering import (
     CyclicDependencyError,
     dependency_dag,
@@ -43,19 +58,29 @@ from repro.analyzer.serialize import (
 
 __all__ = [
     "NodeKind",
+    "GraphBuilder",
     "build_ftg",
     "build_sdg",
+    "finalize_graph",
+    "merge_edge_stats",
+    "opt_min",
+    "opt_max",
     "task_node",
     "file_node",
     "dataset_node",
     "region_node",
     "mark_data_reuse",
+    "AnalysisResult",
+    "ParallelAnalyzer",
+    "merge_graph_inplace",
     "aggregate_by",
     "condense_regions",
     "to_dot",
     "to_html",
     "compare_runs",
+    "summarize_run",
     "RunComparison",
+    "RunSummary",
     "dependency_dag",
     "infer_task_order",
     "CyclicDependencyError",

@@ -4,16 +4,20 @@ After applying DaYu's recommendations, the analyst wants to see *where*
 the I/O went: which files lost operations, which tasks got faster, how the
 metadata/data balance moved.  :func:`compare_runs` diffs two runs' task
 profiles and reports per-task and per-file deltas.
+
+Either side may be a pre-aggregated :class:`RunSummary` (from
+:func:`summarize_run`) instead of raw profiles — so a baseline compared
+against many candidate runs is walked once, not once per comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.mapper.mapper import TaskProfile
 
-__all__ = ["RunComparison", "compare_runs"]
+__all__ = ["RunComparison", "RunSummary", "compare_runs", "summarize_run"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,27 @@ def _per_file(profiles: Sequence[TaskProfile]) -> Dict[str, _Totals]:
             out[s.file] = cur + _Totals(s.access_count, s.access_volume,
                                         s.metadata_ops, s.io_time)
     return out
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Per-task and per-file aggregates of one run — the unit
+    :func:`compare_runs` actually consumes.  Build once with
+    :func:`summarize_run` and reuse across comparisons."""
+
+    per_task: Dict[str, _Totals]
+    per_file: Dict[str, _Totals]
+
+
+def summarize_run(profiles: Sequence[TaskProfile]) -> RunSummary:
+    """Aggregate a run's profiles for (repeated) comparison."""
+    return RunSummary(per_task=_per_task(profiles), per_file=_per_file(profiles))
+
+
+def _as_summary(run: Union[Sequence[TaskProfile], RunSummary]) -> RunSummary:
+    if isinstance(run, RunSummary):
+        return run
+    return summarize_run(run)
 
 
 def _delta(before: float, after: float) -> float:
@@ -116,14 +141,16 @@ class RunComparison:
 
 
 def compare_runs(
-    baseline: Sequence[TaskProfile],
-    optimized: Sequence[TaskProfile],
+    baseline: Union[Sequence[TaskProfile], RunSummary],
+    optimized: Union[Sequence[TaskProfile], RunSummary],
 ) -> RunComparison:
     """Diff two runs.  Tasks/files present in only one run still appear
-    (with zeros on the other side)."""
+    (with zeros on the other side).  Either side may be raw profiles or a
+    pre-built :class:`RunSummary`."""
     comparison = RunComparison()
 
-    before_tasks, after_tasks = _per_task(baseline), _per_task(optimized)
+    before, after = _as_summary(baseline), _as_summary(optimized)
+    before_tasks, after_tasks = before.per_task, after.per_task
     for task in sorted(set(before_tasks) | set(after_tasks)):
         b = before_tasks.get(task, _Totals())
         a = after_tasks.get(task, _Totals())
@@ -139,7 +166,7 @@ def compare_runs(
             "io_time_delta": _delta(b.io_time, a.io_time),
         })
 
-    before_files, after_files = _per_file(baseline), _per_file(optimized)
+    before_files, after_files = before.per_file, after.per_file
     for file in sorted(set(before_files) | set(after_files)):
         b = before_files.get(file, _Totals())
         a = after_files.get(file, _Totals())

@@ -19,13 +19,24 @@ Edge attributes:
 Direction convention (matching the paper's left-to-right data flow):
     *reads* flow ``file → [region → dataset →] task`` and *writes* flow
     ``task → [dataset → region →] file``.
+
+Construction is incremental: a :class:`GraphBuilder` accepts profiles one
+at a time and can emit the finished graph at any point, so analyses over a
+growing trace directory (or a baseline kept across :func:`compare_runs`
+calls) never rebuild from scratch.  Edge statistics accumulate through the
+commutative :func:`merge_edge_stats`, which is also how
+:class:`~repro.analyzer.parallel.ParallelAnalyzer` merges independently
+built sub-graphs — per-contribution ``io_time`` samples are kept in an
+``_io_times`` list and folded with :func:`math.fsum` at finalization, so
+serial and sharded builds produce identical floats.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import networkx as nx
 
@@ -38,6 +49,11 @@ __all__ = [
     "file_node",
     "dataset_node",
     "region_node",
+    "opt_min",
+    "opt_max",
+    "merge_edge_stats",
+    "GraphBuilder",
+    "finalize_graph",
     "build_ftg",
     "build_sdg",
     "mark_data_reuse",
@@ -69,6 +85,76 @@ def region_node(file: str, lo: int, hi: int) -> str:
     return f"region:{file}:[{lo}-{hi})"
 
 
+_N = TypeVar("_N", int, float)
+
+
+def opt_min(a: Optional[_N], b: Optional[_N]) -> Optional[_N]:
+    """``min`` where ``None`` means "no observation", not zero."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a <= b else b
+
+
+def opt_max(a: Optional[_N], b: Optional[_N]) -> Optional[_N]:
+    """``max`` where ``None`` means "no observation", not zero."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a >= b else b
+
+
+#: Additive edge-statistic keys (ints; merge by summation).
+_COUNTER_KEYS = (
+    "count",
+    "volume",
+    "data_ops",
+    "data_bytes",
+    "metadata_ops",
+    "metadata_bytes",
+)
+
+
+def _edge_delta(stats: DatasetIoStats, op: str) -> dict:
+    """One edge-stat contribution: the given operation's share of ``stats``."""
+    if op == "read":
+        count, volume = stats.reads, stats.bytes_read
+    else:
+        count, volume = stats.writes, stats.bytes_written
+    return {
+        "count": count,
+        "volume": volume,
+        "data_ops": stats.data_ops,
+        "data_bytes": stats.data_bytes,
+        "metadata_ops": stats.metadata_ops,
+        "metadata_bytes": stats.metadata_bytes,
+        "start": stats.first_start,
+        "end": stats.last_end,
+        "_io_times": [stats.io_time],
+    }
+
+
+def merge_edge_stats(data: dict, delta: dict) -> dict:
+    """Fold one edge-stat contribution into ``data``, in place.
+
+    Commutative and associative over contribution *sets*: counters add,
+    spans widen via :func:`opt_min`/:func:`opt_max`, and per-contribution
+    ``io_time`` samples accumulate in ``_io_times`` (summed with
+    :func:`math.fsum` at finalization, which is correctly rounded and thus
+    order-independent).  ``delta`` may be a raw delta from
+    :func:`_edge_delta` or another edge's attribute dict, which is how
+    sub-graphs built on disjoint profile shards merge.
+    """
+    for key in _COUNTER_KEYS:
+        data[key] = data.get(key, 0) + delta.get(key, 0)
+    data["start"] = opt_min(data.get("start"), delta.get("start"))
+    data["end"] = opt_max(data.get("end"), delta.get("end"))
+    data.setdefault("_io_times", []).extend(delta.get("_io_times", ()))
+    return data
+
+
 def _ensure_node(g: nx.DiGraph, node: str, kind: NodeKind, label: str, **attrs) -> None:
     if node not in g:
         g.add_node(node, kind=kind.value, label=label, volume=0, **attrs)
@@ -76,45 +162,54 @@ def _ensure_node(g: nx.DiGraph, node: str, kind: NodeKind, label: str, **attrs) 
 
 def _bump_edge(g: nx.DiGraph, u: str, v: str, stats: DatasetIoStats, op: str) -> None:
     """Add/merge an edge carrying the given operation's share of ``stats``."""
-    if op == "read":
-        count, volume = stats.reads, stats.bytes_read
-    else:
-        count, volume = stats.writes, stats.bytes_written
-    if count == 0:
+    delta = _edge_delta(stats, op)
+    if delta["count"] == 0 and delta["volume"] == 0:
         return
     data = g.get_edge_data(u, v)
     if data is None:
         g.add_edge(
             u, v,
             operation=op,
-            count=count,
-            volume=volume,
-            io_time=stats.io_time,
-            data_ops=stats.data_ops,
-            data_bytes=stats.data_bytes,
-            metadata_ops=stats.metadata_ops,
-            metadata_bytes=stats.metadata_bytes,
-            start=stats.first_start,
-            end=stats.last_end,
+            count=0,
+            volume=0,
+            io_time=0.0,
+            data_ops=0,
+            data_bytes=0,
+            metadata_ops=0,
+            metadata_bytes=0,
+            start=None,
+            end=None,
+            bandwidth=0.0,
         )
         data = g.get_edge_data(u, v)
-    else:
-        data["count"] += count
-        data["volume"] += volume
-        data["io_time"] += stats.io_time
-        data["data_ops"] += stats.data_ops
-        data["data_bytes"] += stats.data_bytes
-        data["metadata_ops"] += stats.metadata_ops
-        data["metadata_bytes"] += stats.metadata_bytes
-        if stats.first_start is not None:
-            data["start"] = min(x for x in (data["start"], stats.first_start) if x is not None) \
-                if data["start"] is not None else stats.first_start
-        if stats.last_end is not None:
-            data["end"] = max(x for x in (data["end"], stats.last_end) if x is not None) \
-                if data["end"] is not None else stats.last_end
-    data["bandwidth"] = data["volume"] / data["io_time"] if data["io_time"] > 0 else 0.0
-    g.nodes[u]["volume"] += volume
-    g.nodes[v]["volume"] += volume
+    merge_edge_stats(data, delta)
+    g.nodes[u]["volume"] += delta["volume"]
+    g.nodes[v]["volume"] += delta["volume"]
+
+
+def _finalize_edges(g: nx.DiGraph) -> None:
+    """Resolve accumulated ``_io_times`` into ``io_time``/``bandwidth``."""
+    for _, _, data in g.edges(data=True):
+        times = data.pop("_io_times", None)
+        if times is not None:
+            data["io_time"] = math.fsum(times)
+        io_time = data.get("io_time", 0.0)
+        data["bandwidth"] = data["volume"] / io_time if io_time > 0 else 0.0
+
+
+def finalize_graph(g: nx.DiGraph, with_regions: bool = False) -> nx.DiGraph:
+    """Turn an accumulating graph into a finished FTG/SDG, in place.
+
+    Strips the redundant dataset↔file edges (region view), resolves edge
+    ``io_time``/``bandwidth``, and marks data reuse.  Used by
+    :meth:`GraphBuilder.build` and by the parallel merger after combining
+    shard graphs.
+    """
+    if with_regions:
+        _strip_direct_dataset_file_edges(g)
+    _finalize_edges(g)
+    mark_data_reuse(g)
+    return g
 
 
 def _ordered_profiles(
@@ -128,6 +223,100 @@ def _ordered_profiles(
             raise ValueError(f"task_order missing tasks: {missing}")
         items.sort(key=lambda p: index[p.task])
     return items
+
+
+class GraphBuilder:
+    """Incremental FTG/SDG constructor.
+
+    Feed profiles with :meth:`add_profile` / :meth:`add_profiles` as they
+    arrive; call :meth:`build` for a finished graph at any point and keep
+    adding afterwards.  A builder with ``seq_base`` set builds the
+    sub-graph for one contiguous shard of a larger profile sequence;
+    :func:`repro.analyzer.parallel.merge_graph_inplace` combines such
+    shard graphs into the same result a single builder would produce.
+
+    Args:
+        kind: ``"ftg"`` or ``"sdg"``.
+        with_regions: (SDG only) insert file address-region nodes.
+        region_bytes: Width of one address region in bytes.
+        page_size: Page size of the profiles' region histograms.
+        seq_base: Execution-order index of the first profile added.
+    """
+
+    def __init__(
+        self,
+        kind: str = "ftg",
+        with_regions: bool = False,
+        region_bytes: int = 65536,
+        page_size: int = 4096,
+        seq_base: int = 0,
+    ) -> None:
+        if kind not in ("ftg", "sdg"):
+            raise ValueError(f"kind must be 'ftg' or 'sdg', got {kind!r}")
+        self.kind = kind
+        self.with_regions = with_regions and kind == "sdg"
+        self.region_bytes = region_bytes
+        self.page_size = page_size
+        if kind == "sdg":
+            if region_bytes % page_size != 0:
+                raise ValueError(
+                    f"region_bytes ({region_bytes}) must be a multiple of "
+                    f"the profile page size ({page_size})"
+                )
+            self._pages_per_region = region_bytes // page_size
+            self.graph = nx.DiGraph(graph_type="SDG", region_bytes=region_bytes)
+        else:
+            self.graph = nx.DiGraph(graph_type="FTG")
+        self._seq = seq_base
+
+    def add_profile(self, profile: TaskProfile) -> None:
+        """Fold one task profile into the graph under construction."""
+        g = self.graph
+        t = task_node(profile.task)
+        _ensure_node(
+            g, t, NodeKind.TASK, profile.task,
+            start=profile.span.start, end=profile.span.end, order=self._seq,
+        )
+        self._seq += 1
+        if self.kind == "ftg":
+            for stats in profile.dataset_stats:
+                f = file_node(stats.file)
+                _ensure_node(g, f, NodeKind.FILE, stats.file)
+                if stats.reads:
+                    _bump_edge(g, f, t, stats, "read")
+                if stats.writes:
+                    _bump_edge(g, t, f, stats, "write")
+            return
+        for stats in profile.dataset_stats:
+            f = file_node(stats.file)
+            _ensure_node(g, f, NodeKind.FILE, stats.file)
+            d = dataset_node(stats.file, stats.data_object)
+            label = stats.data_object.lstrip("/") or stats.data_object
+            _ensure_node(g, d, NodeKind.DATASET, label, file=stats.file)
+            if stats.reads:
+                _bump_edge(g, f, d, stats, "read")
+                _bump_edge(g, d, t, stats, "read")
+            if stats.writes:
+                _bump_edge(g, t, d, stats, "write")
+                _bump_edge(g, d, f, stats, "write")
+            if self.with_regions:
+                _wire_regions(g, stats, d, f, self._pages_per_region,
+                              self.region_bytes)
+
+    def add_profiles(self, profiles: Iterable[TaskProfile]) -> None:
+        for profile in profiles:
+            self.add_profile(profile)
+
+    def build(self, copy: bool = True) -> nx.DiGraph:
+        """Finalize and return the graph.
+
+        With ``copy=True`` (default) the builder stays usable: further
+        :meth:`add_profile` calls keep accumulating and a later ``build``
+        reflects them.  ``copy=False`` hands over the internal graph —
+        cheaper, but the builder must not be fed afterwards.
+        """
+        g = self.graph.copy() if copy else self.graph
+        return finalize_graph(g, with_regions=self.with_regions)
 
 
 def build_ftg(
@@ -146,23 +335,9 @@ def build_ftg(
             paper's current FTG construction requires); validated against
             the profiles when given.
     """
-    g = nx.DiGraph(graph_type="FTG")
-    for seq, profile in enumerate(_ordered_profiles(profiles, task_order)):
-        t = task_node(profile.task)
-        _ensure_node(
-            g, t, NodeKind.TASK, profile.task,
-            start=profile.span.start, end=profile.span.end, order=seq,
-        )
-        # Aggregate object rows up to (file, direction).
-        for stats in profile.dataset_stats:
-            f = file_node(stats.file)
-            _ensure_node(g, f, NodeKind.FILE, stats.file)
-            if stats.reads:
-                _bump_edge(g, f, t, stats, "read")
-            if stats.writes:
-                _bump_edge(g, t, f, stats, "write")
-    mark_data_reuse(g)
-    return g
+    builder = GraphBuilder("ftg")
+    builder.add_profiles(_ordered_profiles(profiles, task_order))
+    return builder.build(copy=False)
 
 
 def build_sdg(
@@ -188,37 +363,97 @@ def build_sdg(
             at (``DaYuConfig.page_size``); region membership is computed
             from those page indices.
     """
-    if region_bytes % page_size != 0:
-        raise ValueError(
-            f"region_bytes ({region_bytes}) must be a multiple of the "
-            f"profile page size ({page_size})"
+    builder = GraphBuilder(
+        "sdg", with_regions=with_regions, region_bytes=region_bytes,
+        page_size=page_size,
+    )
+    builder.add_profiles(_ordered_profiles(profiles, task_order))
+    return builder.build(copy=False)
+
+
+def _region_page_counts(
+    stats: DatasetIoStats, pages_per_region: int
+) -> Dict[int, int]:
+    """Page-touch count per address region, from the coalesced page runs.
+
+    Equivalent to summing the per-page histogram grouped by region, but
+    O(runs) instead of O(pages): each uniform run is split arithmetically
+    at region boundaries.
+    """
+    counts: Dict[int, int] = defaultdict(int)
+    for first, last, count in stats.region_runs():
+        r0 = first // pages_per_region
+        r1 = last // pages_per_region
+        if r0 == r1:
+            counts[r0] += (last - first + 1) * count
+            continue
+        counts[r0] += ((r0 + 1) * pages_per_region - first) * count
+        for r in range(r0 + 1, r1):
+            counts[r] += pages_per_region * count
+        counts[r1] += (last - r1 * pages_per_region + 1) * count
+    return counts
+
+
+def _apportion(total: int, weights: Sequence[int]) -> List[int]:
+    """Split an integer ``total`` proportionally to ``weights``, exactly.
+
+    Largest-remainder apportionment: each share gets the floor of its
+    exact quota, and the leftover units go to the largest fractional
+    remainders (ties broken toward the heavier weight, then the earlier
+    index).  The shares always sum to ``total`` — unlike independent
+    rounding, which drifts.
+    """
+    wsum = sum(weights)
+    if total <= 0 or wsum <= 0:
+        return [0] * len(weights)
+    scaled = [total * w for w in weights]
+    floors = [s // wsum for s in scaled]
+    leftover = total - sum(floors)
+    if leftover:
+        order = sorted(
+            range(len(weights)),
+            key=lambda i: (scaled[i] % wsum, weights[i], -i),
+            reverse=True,
         )
-    pages_per_region = region_bytes // page_size
-    g = nx.DiGraph(graph_type="SDG", region_bytes=region_bytes)
-    for seq, profile in enumerate(_ordered_profiles(profiles, task_order)):
-        t = task_node(profile.task)
-        _ensure_node(
-            g, t, NodeKind.TASK, profile.task,
-            start=profile.span.start, end=profile.span.end, order=seq,
+        for i in order[:leftover]:
+            floors[i] += 1
+    return floors
+
+
+#: Integer DatasetIoStats fields sliced per region by :func:`_apportion`.
+_APPORTIONED_FIELDS = (
+    "reads",
+    "writes",
+    "bytes_read",
+    "bytes_written",
+    "data_ops",
+    "data_bytes",
+    "metadata_ops",
+    "metadata_bytes",
+)
+
+
+def _region_slices(
+    stats: DatasetIoStats, weights: Sequence[int]
+) -> List[DatasetIoStats]:
+    """Proportional slices of ``stats``, one per region, conserving totals."""
+    wsum = sum(weights)
+    shares = {
+        name: _apportion(getattr(stats, name), weights)
+        for name in _APPORTIONED_FIELDS
+    }
+    out = []
+    for i, weight in enumerate(weights):
+        part = DatasetIoStats(
+            task=stats.task, file=stats.file, data_object=stats.data_object
         )
-        for stats in profile.dataset_stats:
-            f = file_node(stats.file)
-            _ensure_node(g, f, NodeKind.FILE, stats.file)
-            d = dataset_node(stats.file, stats.data_object)
-            label = stats.data_object.lstrip("/") or stats.data_object
-            _ensure_node(g, d, NodeKind.DATASET, label, file=stats.file)
-            if stats.reads:
-                _bump_edge(g, f, d, stats, "read")
-                _bump_edge(g, d, t, stats, "read")
-            if stats.writes:
-                _bump_edge(g, t, d, stats, "write")
-                _bump_edge(g, d, f, stats, "write")
-            if with_regions:
-                _wire_regions(g, stats, d, f, pages_per_region, region_bytes)
-    if with_regions:
-        _strip_direct_dataset_file_edges(g)
-    mark_data_reuse(g)
-    return g
+        for name, values in shares.items():
+            setattr(part, name, values[i])
+        part.io_time = stats.io_time * (weight / wsum) if wsum else 0.0
+        part.first_start = stats.first_start
+        part.last_end = stats.last_end
+        out.append(part)
+    return out
 
 
 def _wire_regions(
@@ -230,10 +465,16 @@ def _wire_regions(
     region_bytes: int,
 ) -> None:
     """Insert region nodes between a dataset and its file."""
-    regions: Dict[int, int] = defaultdict(int)
-    for page, count in stats.regions.items():
-        regions[page // pages_per_region] += count
-    for region_idx, count in sorted(regions.items()):
+    counts = _region_page_counts(stats, pages_per_region)
+    if not counts:
+        return
+    region_ids = sorted(counts)
+    slices = _region_slices(stats, [counts[r] for r in region_ids])
+    for region_idx, part in zip(region_ids, slices):
+        wants_write = stats.writes and (part.writes or part.bytes_written)
+        wants_read = stats.reads and (part.reads or part.bytes_read)
+        if not (wants_write or wants_read):
+            continue
         lo = region_idx * region_bytes
         hi = lo + region_bytes
         r = region_node(stats.file, lo, hi)
@@ -241,30 +482,12 @@ def _wire_regions(
             g, r, NodeKind.REGION, f"addr[{lo}-{hi})", file=stats.file,
             region=(lo, hi),
         )
-        share = count / max(sum(regions.values()), 1)
-        if stats.writes:
-            _bump_edge(g, d, r, _scaled(stats, share), "write")
-            _bump_edge(g, r, f, _scaled(stats, share), "write")
-        if stats.reads:
-            _bump_edge(g, f, r, _scaled(stats, share), "read")
-            _bump_edge(g, r, d, _scaled(stats, share), "read")
-
-
-def _scaled(stats: DatasetIoStats, share: float) -> DatasetIoStats:
-    """A proportional slice of ``stats`` for one address region."""
-    out = DatasetIoStats(task=stats.task, file=stats.file, data_object=stats.data_object)
-    out.reads = max(round(stats.reads * share), 1 if stats.reads else 0)
-    out.writes = max(round(stats.writes * share), 1 if stats.writes else 0)
-    out.bytes_read = round(stats.bytes_read * share)
-    out.bytes_written = round(stats.bytes_written * share)
-    out.data_ops = round(stats.data_ops * share)
-    out.data_bytes = round(stats.data_bytes * share)
-    out.metadata_ops = round(stats.metadata_ops * share)
-    out.metadata_bytes = round(stats.metadata_bytes * share)
-    out.io_time = stats.io_time * share
-    out.first_start = stats.first_start
-    out.last_end = stats.last_end
-    return out
+        if wants_write:
+            _bump_edge(g, d, r, part, "write")
+            _bump_edge(g, r, f, part, "write")
+        if wants_read:
+            _bump_edge(g, f, r, part, "read")
+            _bump_edge(g, r, d, part, "read")
 
 
 def _strip_direct_dataset_file_edges(g: nx.DiGraph) -> None:

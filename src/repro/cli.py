@@ -21,11 +21,10 @@ import sys
 from pathlib import Path
 from typing import List
 
-from repro.analyzer import build_ftg, build_sdg, to_dot, to_html
+from repro.analyzer import to_dot, to_html
 from repro.diagnostics import diagnose
 from repro.experiments.common import fresh_env
 from repro.guidelines import recommend
-from repro.mapper.persist import load_profiles_from_host_dir
 
 __all__ = ["run_main", "analyze_main"]
 
@@ -96,11 +95,15 @@ def run_main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument("workload", choices=_WORKLOADS)
     parser.add_argument("--out", default="traces",
-                        help="host directory for the JSON profiles")
+                        help="host directory for the saved profiles")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale multiplier (default 1.0)")
     parser.add_argument("--nodes", type=int, default=2,
                         help="simulated cluster nodes")
+    parser.add_argument("--trace-format", choices=("json", "binary"),
+                        default="json",
+                        help="saved profile format: JSON interchange or the "
+                             "compact binary codec (default json)")
     args = parser.parse_args(argv)
 
     env = fresh_env(n_nodes=args.nodes)
@@ -111,7 +114,8 @@ def run_main(argv: List[str] | None = None) -> int:
           f"({len(workflow.all_tasks())} tasks on {args.nodes} node(s))...")
     result = env.runner.run(workflow)
     print(f"  makespan: {result.wall_time:.3f} simulated seconds")
-    written = env.mapper.save_to_host_dir(args.out)
+    written = env.mapper.save_to_host_dir(args.out,
+                                          trace_format=args.trace_format)
     print(f"  wrote {len(written)} task profile(s) to {args.out}/")
     return 0
 
@@ -123,7 +127,9 @@ def analyze_main(argv: List[str] | None = None) -> int:
         description="Offline Workflow Analyzer: build FTG/SDG graphs and "
                     "diagnose dataflow from saved DaYu trace profiles.",
     )
-    parser.add_argument("traces", help="directory of *.json task profiles")
+    parser.add_argument("traces",
+                        help="directory of saved task profiles "
+                             "(*.json and/or *.dayu)")
     parser.add_argument("--out", default="graphs",
                         help="output directory for HTML/DOT graphs")
     parser.add_argument("--regions", action="store_true",
@@ -138,11 +144,19 @@ def analyze_main(argv: List[str] | None = None) -> int:
                              "producer/consumer relations")
     parser.add_argument("--advisor", action="store_true",
                         help="print the severity-triaged advisor report")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for loading and graph "
+                             "construction (default 1 = serial)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    profiles = load_profiles_from_host_dir(args.traces)
+    from repro.analyzer import ParallelAnalyzer
+
+    analyzer = ParallelAnalyzer(max_workers=args.jobs)
+    profiles = analyzer.load(args.traces)
     if not profiles:
-        print(f"no *.json profiles found in {args.traces!r}", file=sys.stderr)
+        print(f"no saved profiles found in {args.traces!r}", file=sys.stderr)
         return 1
     print(f"Loaded {len(profiles)} task profile(s) from {args.traces}/")
 
@@ -156,9 +170,10 @@ def analyze_main(argv: List[str] | None = None) -> int:
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    ftg = build_ftg(profiles)
-    sdg = build_sdg(profiles, with_regions=args.regions,
-                    region_bytes=args.region_bytes, page_size=args.page_size)
+    ftg = analyzer.build_ftg(profiles)
+    sdg = analyzer.build_sdg(profiles, with_regions=args.regions,
+                             region_bytes=args.region_bytes,
+                             page_size=args.page_size)
     for name, graph in (("ftg", ftg), ("sdg", sdg)):
         (out / f"{name}.html").write_text(to_html(graph, title=f"DaYu {name.upper()}"))
         (out / f"{name}.dot").write_text(to_dot(graph, title=name))

@@ -7,21 +7,42 @@ corresponding FTG and SDG in HTML format."
 The Analyzer is offline tooling, so — unlike the simulated runtimes used
 everywhere else — this experiment measures *real* wall-clock time with
 ``time.perf_counter``.
+
+:func:`run_analyzer_scaleout` extends the experiment to the end-to-end
+*trace-to-graphs* pipeline: it saves the synthetic profiles both as JSON
+and as the compact binary format, then times the seed path (serial JSON
+load with per-op records, serial graph build) against the scale-out path
+(:class:`~repro.analyzer.parallel.ParallelAnalyzer` over binary traces
+with ``with_io_records=False``), asserting the two produce identical
+graphs.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass
-from typing import List
+from pathlib import Path
+from typing import List, Optional
 
-from repro.analyzer import build_ftg, build_sdg, to_html
+from repro.analyzer import ParallelAnalyzer, build_ftg, build_sdg, graph_to_json, to_html
 from repro.diagnostics import diagnose
+from repro.mapper import codec
 from repro.mapper.mapper import TaskProfile
+from repro.mapper.persist import load_profiles_from_host_dir
 from repro.mapper.stats import DatasetIoStats
 from repro.simclock import TimeSpan
+from repro.vfd.base import IoClass
+from repro.vfd.tracing import FileSession, VfdIoRecord
+from repro.vol.tracer import DataObjectProfile
 
-__all__ = ["SyntheticScale", "make_synthetic_profiles", "run_analyzer_scale"]
+__all__ = [
+    "SyntheticScale",
+    "make_synthetic_profiles",
+    "run_analyzer_scale",
+    "run_analyzer_scaleout",
+]
 
 
 @dataclass(frozen=True)
@@ -34,8 +55,37 @@ class SyntheticScale:
     datasets_per_file: int = 2
 
 
-def make_synthetic_profiles(scale: SyntheticScale = SyntheticScale()) -> List[TaskProfile]:
-    """Deterministic synthetic task profiles with realistic edge density."""
+def _synthetic_records(
+    stats: DatasetIoStats, n: int, t: int
+) -> List[VfdIoRecord]:
+    """Deterministic per-op records consistent with one stats row."""
+    op = "write" if stats.writes else "read"
+    records = []
+    for i in range(n):
+        records.append(VfdIoRecord(
+            task=stats.task,
+            file=stats.file,
+            op=op,
+            offset=i * 4096,
+            nbytes=4096,
+            start=float(t) + i * 1e-4,
+            duration=1e-5,
+            access_type=IoClass.METADATA if i % 8 == 0 else IoClass.RAW,
+            data_object=stats.data_object,
+        ))
+    return records
+
+
+def make_synthetic_profiles(
+    scale: SyntheticScale = SyntheticScale(),
+    io_records_per_stat: int = 0,
+) -> List[TaskProfile]:
+    """Deterministic synthetic task profiles with realistic edge density.
+
+    ``io_records_per_stat`` > 0 additionally populates per-operation
+    records, file sessions, and object profiles — the trace sections that
+    dominate on-disk size but that graph construction never reads.
+    """
     profiles: List[TaskProfile] = []
     for t in range(scale.n_tasks):
         task = f"task_{t:04d}"
@@ -64,13 +114,32 @@ def make_synthetic_profiles(scale: SyntheticScale = SyntheticScale()) -> List[Ta
                 s.last_end = float(t) + 0.5
                 s.regions = {0: 1, (t + d) % 8: 1}
                 stats.append(s)
+        object_profiles: List[DataObjectProfile] = []
+        file_sessions: List[FileSession] = []
+        io_records: List[VfdIoRecord] = []
+        if io_records_per_stat > 0:
+            for s in stats:
+                io_records.extend(
+                    _synthetic_records(s, io_records_per_stat, t))
+                object_profiles.append(DataObjectProfile(
+                    task=task, file=s.file, object_name=s.data_object,
+                    acquired=float(t), released=float(t) + 0.5,
+                    open_count=1, shape=(4096,), dtype="float32",
+                    layout="contiguous", nbytes=s.access_volume,
+                    reads=s.reads, writes=s.writes,
+                ))
+            for file in sorted({s.file for s in stats}):
+                file_sessions.append(FileSession(
+                    task=task, file=file, open_time=float(t),
+                    close_time=float(t) + 1.0,
+                ))
         profiles.append(TaskProfile(
             task=task,
             span=TimeSpan(float(t), float(t) + 1.0),
             files=sorted({s.file for s in stats}),
-            object_profiles=[],
-            file_sessions=[],
-            io_records=[],
+            object_profiles=object_profiles,
+            file_sessions=file_sessions,
+            io_records=io_records,
             dataset_stats=stats,
         ))
     return profiles
@@ -103,4 +172,82 @@ def run_analyzer_scale(scale: SyntheticScale = SyntheticScale()) -> dict:
         "analyze_seconds": analyze_seconds,
         "render_seconds": render_seconds,
         "html_bytes": len(ftg_html) + len(sdg_html),
+    }
+
+
+def run_analyzer_scaleout(
+    scale: SyntheticScale = SyntheticScale(),
+    io_records_per_stat: int = 64,
+    max_workers: Optional[int] = None,
+    work_dir: Optional[str] = None,
+) -> dict:
+    """Seed path vs. scale-out path on the ~1k-node synthetic workflow.
+
+    Baseline: JSON traces loaded serially with per-op records, serial
+    FTG + SDG build.  Scale-out: binary traces loaded through
+    :class:`ParallelAnalyzer` with ``with_io_records=False`` (the per-op
+    section is skipped in O(1)), sharded graph build.  Both paths must
+    produce byte-identical serialized graphs.
+
+    Returns trace sizes, end-to-end timings, the speedup, and the
+    identity check result.
+    """
+    profiles = make_synthetic_profiles(scale,
+                                       io_records_per_stat=io_records_per_stat)
+
+    own_dir = work_dir is None
+    base = Path(work_dir or tempfile.mkdtemp(prefix="dayu-scaleout-"))
+    json_dir = base / "json"
+    binary_dir = base / "binary"
+    json_dir.mkdir(parents=True, exist_ok=True)
+    binary_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        json_bytes = 0
+        binary_bytes = 0
+        for p in profiles:
+            blob = p.serialize()
+            json_bytes += len(blob)
+            (json_dir / f"{p.task}.json").write_bytes(blob)
+            blob = codec.encode_profile(p)
+            binary_bytes += len(blob)
+            (binary_dir / f"{p.task}{codec.BINARY_TRACE_SUFFIX}").write_bytes(blob)
+
+        t0 = time.perf_counter()
+        baseline_profiles = load_profiles_from_host_dir(
+            str(json_dir), with_io_records=True)
+        base_ftg = build_ftg(baseline_profiles)
+        base_sdg = build_sdg(baseline_profiles)
+        baseline_seconds = time.perf_counter() - t0
+
+        analyzer = ParallelAnalyzer(max_workers=max_workers,
+                                    with_io_records=False)
+        t0 = time.perf_counter()
+        fast_profiles = analyzer.load(str(binary_dir))
+        fast_ftg = analyzer.build_ftg(fast_profiles)
+        fast_sdg = analyzer.build_sdg(fast_profiles)
+        scaleout_seconds = time.perf_counter() - t0
+
+        identical = (
+            graph_to_json(base_ftg) == graph_to_json(fast_ftg)
+            and graph_to_json(base_sdg) == graph_to_json(fast_sdg)
+        )
+    finally:
+        if own_dir:
+            shutil.rmtree(base, ignore_errors=True)
+
+    return {
+        "n_profiles": len(profiles),
+        "io_records_per_stat": io_records_per_stat,
+        "ftg_nodes": fast_ftg.number_of_nodes(),
+        "ftg_edges": fast_ftg.number_of_edges(),
+        "sdg_nodes": fast_sdg.number_of_nodes(),
+        "sdg_edges": fast_sdg.number_of_edges(),
+        "json_bytes": json_bytes,
+        "binary_bytes": binary_bytes,
+        "size_ratio": json_bytes / binary_bytes if binary_bytes else 0.0,
+        "baseline_seconds": baseline_seconds,
+        "scaleout_seconds": scaleout_seconds,
+        "speedup": (baseline_seconds / scaleout_seconds
+                    if scaleout_seconds > 0 else 0.0),
+        "identical_graphs": identical,
     }

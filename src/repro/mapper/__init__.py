@@ -15,13 +15,23 @@ profiler), per task:
 - :class:`~repro.mapper.mapper.TaskProfile` — everything DaYu knows about
   one task, serializable for the offline Workflow Analyzer.
 - :mod:`~repro.mapper.overhead` — overhead accounting (Figures 9 and 10).
+- :mod:`~repro.mapper.codec` — the compact binary trace format (the
+  storage form of Figure 9d; JSON remains the interchange form).
 """
 
+from repro.mapper.codec import (
+    BINARY_TRACE_SUFFIX,
+    decode_profile,
+    encode_profile,
+    read_profile,
+    write_profile,
+)
 from repro.mapper.config import DaYuConfig
 from repro.mapper.mapper import DataSemanticMapper, TaskContext, TaskProfile
 from repro.mapper.overhead import OverheadReport, overhead_report
 from repro.mapper.persist import (
     load_profile,
+    load_profile_path,
     load_profiles,
     load_profiles_from_dir,
     load_profiles_from_host_dir,
@@ -41,7 +51,13 @@ __all__ = [
     "overhead_report",
     "profile_from_json_dict",
     "load_profile",
+    "load_profile_path",
     "load_profiles",
     "load_profiles_from_dir",
     "load_profiles_from_host_dir",
+    "BINARY_TRACE_SUFFIX",
+    "encode_profile",
+    "decode_profile",
+    "write_profile",
+    "read_profile",
 ]

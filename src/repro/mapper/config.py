@@ -41,6 +41,10 @@ class DaYuConfig:
         trace_io: Record time-sensitive per-operation I/O traces.  When
             False only aggregate session statistics are kept — constant
             storage overhead, as the paper describes.
+        trace_format: On-disk profile format written by
+            :meth:`DataSemanticMapper.save` — ``"binary"`` for the compact
+            struct-packed codec (:mod:`repro.mapper.codec`), ``"json"``
+            for the verbose interchange form.
         vfd_costs: Modeled VFD profiler costs.
         vol_costs: Modeled VOL profiler costs.
         mapper_cost_per_record: Modeled Characteristic Mapper join cost per
@@ -51,6 +55,7 @@ class DaYuConfig:
     page_size: int = 4096
     skip_ops: int = 0
     trace_io: bool = True
+    trace_format: str = "json"
     vfd_costs: TracerCosts = field(default_factory=TracerCosts)
     vol_costs: VolCosts = field(default_factory=VolCosts)
     mapper_cost_per_record: float = 5.0e-6
@@ -62,6 +67,9 @@ class DaYuConfig:
             raise ValueError(f"skip_ops must be non-negative, got {self.skip_ops}")
         if not self.output_dir.startswith("/"):
             raise ValueError(f"output_dir must be absolute, got {self.output_dir!r}")
+        if self.trace_format not in ("json", "binary"):
+            raise ValueError(
+                f"trace_format must be 'json' or 'binary', got {self.trace_format!r}")
 
     @classmethod
     def parse(cls, raw: Mapping[str, object], clock: SimClock | None = None) -> "DaYuConfig":
@@ -71,7 +79,7 @@ class DaYuConfig:
         worse than a crash.
         """
         known = {
-            "output_dir", "page_size", "skip_ops", "trace_io",
+            "output_dir", "page_size", "skip_ops", "trace_io", "trace_format",
             "vfd_costs", "vol_costs", "mapper_cost_per_record",
         }
         unknown = set(raw) - known

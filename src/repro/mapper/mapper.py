@@ -14,6 +14,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.mapper import codec
 from repro.mapper.config import DaYuConfig
 from repro.mapper.stats import DatasetIoStats, map_characteristics
 from repro.posix.simfs import SimFS
@@ -45,8 +46,15 @@ class TaskProfile:
         return self.span.duration
 
     def stats_for(self, data_object: str) -> List[DatasetIoStats]:
-        """All joined stats rows for a given data object name."""
-        return [s for s in self.dataset_stats if s.data_object == data_object]
+        """All joined stats rows for a given data object name (O(1) via a
+        lazily built index over the Characteristic Mapper output)."""
+        index = self.__dict__.get("_stats_index")
+        if index is None:
+            index = {}
+            for s in self.dataset_stats:
+                index.setdefault(s.data_object, []).append(s)
+            self.__dict__["_stats_index"] = index
+        return list(index.get(data_object, ()))
 
     def to_json_dict(self) -> dict:
         return {
@@ -61,7 +69,12 @@ class TaskProfile:
         }
 
     def serialize(self) -> bytes:
+        """The JSON interchange form of the profile."""
         return json.dumps(self.to_json_dict()).encode()
+
+    def serialize_binary(self) -> bytes:
+        """The compact binary storage form (:mod:`repro.mapper.codec`)."""
+        return codec.encode_profile(self)
 
     @property
     def storage_bytes(self) -> int:
@@ -70,20 +83,14 @@ class TaskProfile:
 
     @property
     def vfd_binary_bytes(self) -> int:
-        """Compact VFD trace size (per-op records + sessions)."""
-        from repro.vfd.tracing import FileSession, VfdIoRecord
-
-        return (
-            len(self.io_records) * VfdIoRecord.BINARY_SIZE
-            + len(self.file_sessions) * FileSession.BINARY_SIZE
-        )
+        """Real encoded size of the compact VFD trace (per-op records +
+        sessions) — the paper's Figure 9d numerator."""
+        return codec.vfd_trace_nbytes(self.io_records, self.file_sessions)
 
     @property
     def vol_binary_bytes(self) -> int:
-        """Compact VOL trace size (per-object profiles)."""
-        from repro.vol.tracer import DataObjectProfile
-
-        return len(self.object_profiles) * DataObjectProfile.BINARY_SIZE
+        """Real encoded size of the compact VOL trace (per-object profiles)."""
+        return codec.vol_trace_nbytes(self.object_profiles)
 
 
 class TaskContext:
@@ -186,32 +193,44 @@ class DataSemanticMapper:
     # ------------------------------------------------------------------
     # Persistence / accounting
     # ------------------------------------------------------------------
-    def save(self, fs: SimFS) -> List[str]:
-        """Write each task profile as JSON into ``config.output_dir``.
+    def _serialized(self, profile: TaskProfile, trace_format: str | None):
+        fmt = trace_format or self.config.trace_format
+        if fmt == "binary":
+            return codec.BINARY_TRACE_SUFFIX, profile.serialize_binary()
+        return ".json", profile.serialize()
+
+    def save(self, fs: SimFS, trace_format: str | None = None) -> List[str]:
+        """Write each task profile into ``config.output_dir``.
 
         Returns the written paths.  This is the "recorded statistics"
-        storage whose footprint the paper's Figure 9d measures.
+        storage whose footprint the paper's Figure 9d measures.  The
+        format defaults to ``config.trace_format`` (``"json"`` interchange
+        or the compact ``"binary"`` codec).
         """
         written = []
         for name, profile in self.profiles.items():
-            path = f"{self.config.output_dir.rstrip('/')}/{name}.json"
+            suffix, payload = self._serialized(profile, trace_format)
+            path = f"{self.config.output_dir.rstrip('/')}/{name}{suffix}"
             fd = fs.open(path, "w")
-            fs.write(fd, profile.serialize())
+            fs.write(fd, payload)
             fs.close(fd)
             written.append(path)
         return written
 
-    def save_to_host_dir(self, directory: str) -> List[str]:
-        """Write each task profile as JSON into a real (host) directory —
-        the hand-off format the ``dayu-analyze`` CLI consumes."""
+    def save_to_host_dir(self, directory: str,
+                         trace_format: str | None = None) -> List[str]:
+        """Write each task profile into a real (host) directory — the
+        hand-off format the ``dayu-analyze`` CLI consumes.  Format as in
+        :meth:`save`."""
         from pathlib import Path
 
         out = Path(directory)
         out.mkdir(parents=True, exist_ok=True)
         written = []
         for name, profile in self.profiles.items():
-            path = out / f"{name}.json"
-            path.write_bytes(profile.serialize())
+            suffix, payload = self._serialized(profile, trace_format)
+            path = out / f"{name}{suffix}"
+            path.write_bytes(payload)
             written.append(str(path))
         return written
 

@@ -1,12 +1,18 @@
 """Trace persistence: loading saved task profiles for offline analysis.
 
-DaYu's runtime writes one JSON profile per task
-(:meth:`DataSemanticMapper.save`); the offline Workflow Analyzer then
-works from those files — a different process, usually a different machine.
-This module provides the read side: reconstructing
-:class:`~repro.mapper.mapper.TaskProfile` objects (and everything they
-contain) from the serialized form, so graphs and diagnostics can be built
-without re-running the workflow.
+DaYu's runtime writes one profile per task
+(:meth:`DataSemanticMapper.save`) — compact binary
+(:mod:`repro.mapper.codec`, ``*.dayu``) or JSON interchange (``*.json``);
+the offline Workflow Analyzer then works from those files — a different
+process, usually a different machine.  This module provides the read side:
+reconstructing :class:`~repro.mapper.mapper.TaskProfile` objects (and
+everything they contain) from either serialized form, so graphs and
+diagnostics can be built without re-running the workflow.  Loaders sniff
+the format from the payload, so directories may mix both.
+
+``with_io_records=False`` skips materializing the per-operation record
+list — the dominant trace section, which graph construction and the
+diagnostics never read — for an analysis-only fast path.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import List
 
+from repro.mapper import codec
 from repro.mapper.mapper import TaskProfile
 from repro.mapper.stats import DatasetIoStats
 from repro.posix.simfs import SimFS
@@ -25,10 +32,14 @@ from repro.vol.tracer import DataObjectProfile
 __all__ = [
     "profile_from_json_dict",
     "load_profile",
+    "load_profile_path",
     "load_profiles",
     "load_profiles_from_dir",
     "load_profiles_from_host_dir",
 ]
+
+#: Extensions recognized as saved task profiles.
+TRACE_SUFFIXES = (".json", codec.BINARY_TRACE_SUFFIX)
 
 
 def _object_profile_from(d: dict) -> DataObjectProfile:
@@ -105,12 +116,14 @@ def _stats_from(d: dict) -> DatasetIoStats:
     return stats
 
 
-def profile_from_json_dict(payload: dict) -> TaskProfile:
+def profile_from_json_dict(payload: dict,
+                           with_io_records: bool = True) -> TaskProfile:
     """Reconstruct a :class:`TaskProfile` from its serialized form.
 
     Inverse of :meth:`TaskProfile.to_json_dict`; round-trips everything the
     Analyzer and Diagnostics consume.
     """
+    records = payload.get("io_records", []) if with_io_records else []
     return TaskProfile(
         task=payload["task"],
         span=TimeSpan(payload["start"], payload["end"]),
@@ -121,45 +134,73 @@ def profile_from_json_dict(payload: dict) -> TaskProfile:
         file_sessions=[
             _session_from(d) for d in payload.get("file_sessions", [])
         ],
-        io_records=[_record_from(d) for d in payload.get("io_records", [])],
+        io_records=[_record_from(d) for d in records],
         dataset_stats=[_stats_from(d) for d in payload.get("dataset_stats", [])],
     )
 
 
-def load_profile(data: bytes | str) -> TaskProfile:
-    """Parse one serialized profile (bytes or JSON text)."""
+def load_profile(data: bytes | str, with_io_records: bool = True) -> TaskProfile:
+    """Parse one serialized profile — binary or JSON, sniffed from the
+    payload."""
+    if isinstance(data, bytes) and codec.is_binary_trace(data):
+        return codec.decode_profile(data, with_io_records=with_io_records)
     if isinstance(data, bytes):
         data = data.decode()
-    return profile_from_json_dict(json.loads(data))
+    return profile_from_json_dict(json.loads(data),
+                                  with_io_records=with_io_records)
 
 
-def load_profiles(blobs) -> List[TaskProfile]:
-    """Parse many serialized profiles, preserving order."""
-    return [load_profile(b) for b in blobs]
-
-
-def load_profiles_from_host_dir(directory: str) -> List[TaskProfile]:
-    """Load every ``*.json`` profile from a real (host) directory, ordered
-    by task start time.  This is what the ``dayu-analyze`` CLI consumes."""
+def load_profile_path(path, with_io_records: bool = True) -> TaskProfile:
+    """Load one saved profile from a host path (either format)."""
     from pathlib import Path
 
-    profiles = []
-    for path in sorted(Path(directory).glob("*.json")):
-        profiles.append(load_profile(path.read_bytes()))
+    return load_profile(Path(path).read_bytes(),
+                        with_io_records=with_io_records)
+
+
+def load_profiles(blobs, with_io_records: bool = True) -> List[TaskProfile]:
+    """Parse many serialized profiles, preserving order."""
+    return [load_profile(b, with_io_records=with_io_records) for b in blobs]
+
+
+def trace_paths(directory: str) -> List[str]:
+    """Saved profile paths (both formats) under a host directory, sorted.
+
+    A missing directory yields no paths (callers report "no profiles"
+    rather than a traceback)."""
+    from pathlib import Path
+
+    base = Path(directory)
+    if not base.is_dir():
+        return []
+    return sorted(
+        str(p) for p in base.iterdir() if p.suffix in TRACE_SUFFIXES
+    )
+
+
+def load_profiles_from_host_dir(
+    directory: str, with_io_records: bool = True
+) -> List[TaskProfile]:
+    """Load every saved profile (``*.json`` / ``*.dayu``) from a real
+    (host) directory, ordered by task start time.  This is what the
+    ``dayu-analyze`` CLI consumes."""
+    profiles = [load_profile_path(p, with_io_records=with_io_records)
+                for p in trace_paths(directory)]
     profiles.sort(key=lambda p: p.span.start)
     return profiles
 
 
-def load_profiles_from_dir(fs: SimFS, directory: str) -> List[TaskProfile]:
-    """Load every ``*.json`` profile under ``directory`` of a simulated FS,
+def load_profiles_from_dir(fs: SimFS, directory: str,
+                           with_io_records: bool = True) -> List[TaskProfile]:
+    """Load every saved profile under ``directory`` of a simulated FS,
     ordered by task start time (execution order)."""
     profiles = []
     for path in fs.listdir(directory):
-        if not path.endswith(".json"):
+        if not path.endswith(TRACE_SUFFIXES):
             continue
         fd = fs.open(path, "r")
         raw = fs.read(fd, fs.file_size(fd))
         fs.close(fd)
-        profiles.append(load_profile(raw))
+        profiles.append(load_profile(raw, with_io_records=with_io_records))
     profiles.sort(key=lambda p: p.span.start)
     return profiles

@@ -15,7 +15,7 @@ figures show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.vfd.base import IoClass
 from repro.vfd.tracing import VfdIoRecord
@@ -24,6 +24,35 @@ __all__ = ["DatasetIoStats", "map_characteristics", "FILE_METADATA_OBJECT"]
 
 #: Pseudo data-object name for file-level metadata I/O.
 FILE_METADATA_OBJECT = "File-Metadata"
+
+
+def _coalesce_runs(raw: List[Tuple[int, int, int]]) -> List[Tuple[int, int, int]]:
+    """Merge raw ``(first_page, last_page, count)`` increments into sorted,
+    disjoint, maximal runs of uniform count.
+
+    A boundary sweep over the run endpoints: O(R log R) in the number of
+    raw increments, independent of how many pages each increment spans —
+    the property that makes recording a 1 GB write O(1) instead of one
+    dict update per 4 KiB page.
+    """
+    if not raw:
+        return []
+    deltas: Dict[int, int] = {}
+    for first, last, count in raw:
+        deltas[first] = deltas.get(first, 0) + count
+        deltas[last + 1] = deltas.get(last + 1, 0) - count
+    out: List[Tuple[int, int, int]] = []
+    level = 0
+    prev: Optional[int] = None
+    for boundary in sorted(deltas):
+        if level > 0 and prev is not None and boundary > prev:
+            if out and out[-1][2] == level and out[-1][1] + 1 == prev:
+                out[-1] = (out[-1][0], boundary - 1, level)
+            else:
+                out.append((prev, boundary - 1, level))
+        level += deltas[boundary]
+        prev = boundary
+    return out
 
 
 @dataclass
@@ -53,8 +82,15 @@ class DatasetIoStats:
     #: Operation kind ("read"/"write") of the first raw-data access —
     #: distinguishes read-after-write from write-after-read patterns.
     first_raw_op: Optional[str] = None
-    #: Page-aligned address regions touched: page index -> op count.
-    regions: Dict[int, int] = field(default_factory=dict)
+    #: Page-run increments ``(first_page, last_page, count)``; coalesced
+    #: lazily (see :meth:`region_runs`).  Appending one run per record keeps
+    #: :meth:`observe` O(1) regardless of how many pages an access spans.
+    _region_runs: List[Tuple[int, int, int]] = field(
+        default_factory=list, init=False, repr=False, compare=False)
+    _runs_coalesced: bool = field(
+        default=True, init=False, repr=False, compare=False)
+    _regions_cache: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -124,8 +160,48 @@ class DatasetIoStats:
         if self.last_end is None or record.end > self.last_end:
             self.last_end = record.end
         first, last = record.region(page_size)
-        for page in range(first, last + 1):
-            self.regions[page] = self.regions.get(page, 0) + 1
+        self._region_runs.append((first, last, 1))
+        self._runs_coalesced = False
+        self._regions_cache = None
+
+    # ------------------------------------------------------------------
+    # Page-region histogram
+    # ------------------------------------------------------------------
+    def region_runs(self) -> List[Tuple[int, int, int]]:
+        """The page histogram as sorted, disjoint ``(first_page, last_page,
+        count)`` runs — the compact form the binary codec stores and the
+        SDG region wiring consumes."""
+        if not self._runs_coalesced:
+            self._region_runs = _coalesce_runs(self._region_runs)
+            self._runs_coalesced = True
+        return list(self._region_runs)
+
+    def set_region_runs(self, runs: Iterable[Tuple[int, int, int]]) -> None:
+        """Replace the histogram with already-coalesced runs (codec decode)."""
+        self._region_runs = list(runs)
+        self._runs_coalesced = True
+        self._regions_cache = None
+
+    @property
+    def regions(self) -> Dict[int, int]:
+        """Per-page view of the histogram: page index -> op count.
+
+        Materialized lazily from the run representation; prefer
+        :meth:`region_runs` in code that can work with intervals.
+        """
+        if self._regions_cache is None:
+            out: Dict[int, int] = {}
+            for first, last, count in self.region_runs():
+                for page in range(first, last + 1):
+                    out[page] = count
+            self._regions_cache = out
+        return self._regions_cache
+
+    @regions.setter
+    def regions(self, mapping: Mapping[int, int]) -> None:
+        self._region_runs = [(p, p, c) for p, c in sorted(mapping.items())]
+        self._runs_coalesced = False  # sweep merges adjacent equal counts
+        self._regions_cache = None
 
     def to_json_dict(self) -> dict:
         return {

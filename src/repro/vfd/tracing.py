@@ -56,11 +56,11 @@ class TracerCosts:
 
 @dataclass(frozen=True)
 class VfdIoRecord:
-    """One traced low-level I/O operation (Table II, parameters 5-7)."""
+    """One traced low-level I/O operation (Table II, parameters 5-7).
 
-    #: Bytes one record occupies in DaYu's compact on-disk trace format
-    #: (fixed-width fields; task/file/object are interned string ids).
-    BINARY_SIZE = 64
+    The compact on-disk form (varint fields, interned string ids) is
+    produced by :mod:`repro.mapper.codec`.
+    """
 
     task: Optional[str]
     file: str
@@ -107,9 +107,6 @@ class VfdIoRecord:
 @dataclass
 class FileSession:
     """One open→close interval of a file (Table II, parameters 1-4)."""
-
-    #: Bytes one session occupies in the compact on-disk trace format.
-    BINARY_SIZE = 96
 
     task: Optional[str]
     file: str
@@ -318,11 +315,11 @@ class VfdTracer:
     @property
     def binary_trace_bytes(self) -> int:
         """Bytes of the compact on-disk trace — the storage-overhead
-        metric of the paper's Figure 9d."""
-        return (
-            len(self.records) * VfdIoRecord.BINARY_SIZE
-            + len(self.sessions) * FileSession.BINARY_SIZE
-        )
+        metric of the paper's Figure 9d.  Measured by actually encoding
+        the trace with :mod:`repro.mapper.codec`."""
+        from repro.mapper.codec import vfd_trace_nbytes
+
+        return vfd_trace_nbytes(self.records, self.sessions)
 
 
 class TracingVFD(VirtualFileDriver):

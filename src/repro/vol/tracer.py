@@ -49,10 +49,10 @@ class VolCosts:
 
 @dataclass
 class DataObjectProfile:
-    """Accumulated semantics for one data object within one file (Table I)."""
+    """Accumulated semantics for one data object within one file (Table I).
 
-    #: Bytes one profile occupies in the compact on-disk trace format.
-    BINARY_SIZE = 128
+    The compact on-disk form is produced by :mod:`repro.mapper.codec`.
+    """
 
     task: Optional[str]
     file: str
@@ -248,5 +248,8 @@ class VolTracer:
     @property
     def binary_trace_bytes(self) -> int:
         """Bytes of the compact on-disk trace (Figure 9d's VOL series) —
-        proportional to distinct data objects, not to operation count."""
-        return len(self.all_profiles()) * DataObjectProfile.BINARY_SIZE
+        proportional to distinct data objects, not to operation count.
+        Measured by actually encoding with :mod:`repro.mapper.codec`."""
+        from repro.mapper.codec import vol_trace_nbytes
+
+        return vol_trace_nbytes(self.all_profiles())
