@@ -46,6 +46,7 @@ from repro.analyzer.parallel import (
 from repro.analyzer.ordering import (
     CyclicDependencyError,
     dependency_dag,
+    find_dependency_cycle,
     infer_task_order,
 )
 from repro.analyzer.resolution import aggregate_by, condense_regions
@@ -82,6 +83,7 @@ __all__ = [
     "RunComparison",
     "RunSummary",
     "dependency_dag",
+    "find_dependency_cycle",
     "infer_task_order",
     "CyclicDependencyError",
     "graph_to_json",

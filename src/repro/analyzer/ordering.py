@@ -19,12 +19,36 @@ import networkx as nx
 
 from repro.mapper.mapper import TaskProfile
 
-__all__ = ["dependency_dag", "infer_task_order", "CyclicDependencyError"]
+__all__ = [
+    "dependency_dag",
+    "find_dependency_cycle",
+    "infer_task_order",
+    "CyclicDependencyError",
+]
 
 
 class CyclicDependencyError(ValueError):
     """The traces imply a dependency cycle (e.g. two tasks exchanging data
-    through the same files in both directions)."""
+    through the same files in both directions).
+
+    Attributes:
+        cycle: The offending tasks in cycle order (the first task is not
+            repeated at the end).
+    """
+
+    def __init__(self, cycle: Sequence[str]):
+        self.cycle = list(cycle)
+        path = " -> ".join([*self.cycle, self.cycle[0]]) if self.cycle else "?"
+        super().__init__(f"tasks form a dependency cycle: {path}")
+
+
+def find_dependency_cycle(dag: nx.DiGraph) -> List[str]:
+    """Task names forming one dependency cycle of ``dag`` (empty if none)."""
+    try:
+        edges = nx.find_cycle(dag)
+    except nx.NetworkXNoCycle:
+        return []
+    return [a for a, _b in edges]
 
 
 def dependency_dag(profiles: Sequence[TaskProfile]) -> nx.DiGraph:
@@ -84,9 +108,7 @@ def infer_task_order(profiles: Sequence[TaskProfile]) -> List[str]:
     try:
         generations = list(nx.topological_generations(dag))
     except nx.NetworkXUnfeasible as exc:
-        cycle = nx.find_cycle(dag)
-        raise CyclicDependencyError(
-            f"tasks form a dependency cycle: {cycle}") from exc
+        raise CyclicDependencyError(find_dependency_cycle(dag)) from exc
     order: List[str] = []
     for generation in generations:
         order.extend(sorted(generation, key=lambda t: (start_of.get(t, 0.0), t)))

@@ -43,6 +43,12 @@ from repro.analyzer.graphs import (
 from repro.mapper.mapper import TaskProfile
 from repro.mapper.persist import load_profile_path, trace_paths
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import LintReport
+    from repro.lint.rules import LintConfig
+
 __all__ = ["AnalysisResult", "ParallelAnalyzer", "merge_graph_inplace"]
 
 
@@ -85,6 +91,20 @@ def _build_shard(
     return builder.graph
 
 
+def _lint_shard(profiles: Sequence[TaskProfile], config):
+    """Worker-side lint unit: per-profile findings + cross-task digests.
+
+    Imports lazily so worker processes only pay for ``repro.lint`` when
+    linting is requested (and to keep ``repro.analyzer`` import-light).
+    """
+    from repro.lint.context import summarize_profile
+    from repro.lint.engine import run_profile_rules
+
+    return [(run_profile_rules(p, config),
+             summarize_profile(p, config.page_size))
+            for p in profiles]
+
+
 @dataclass
 class AnalysisResult:
     """Everything :meth:`ParallelAnalyzer.analyze` produces for one run."""
@@ -92,6 +112,8 @@ class AnalysisResult:
     profiles: List[TaskProfile]
     ftg: nx.DiGraph
     sdg: nx.DiGraph
+    #: Present when :meth:`ParallelAnalyzer.analyze` ran with ``lint=True``.
+    lint_report: Optional["LintReport"] = None
 
 
 class ParallelAnalyzer:
@@ -212,6 +234,41 @@ class ParallelAnalyzer:
         return self._build("sdg", profiles, task_order, options)
 
     # ------------------------------------------------------------------
+    # Linting
+    # ------------------------------------------------------------------
+    def lint(
+        self,
+        profiles: Sequence[TaskProfile],
+        config: Optional["LintConfig"] = None,
+    ) -> "LintReport":
+        """Sharded :func:`~repro.lint.engine.lint_profiles` — same report.
+
+        Profile-scoped rules (the DY3xx sanitizer and per-task DY1xx
+        checks) shard across the worker pool together with the per-profile
+        cross-task digests; only the small findings and digests travel
+        back, and the workflow-scoped rules run in-process over them.
+        """
+        from repro.lint.engine import LintReport, run_workflow_rules
+        from repro.lint.findings import Finding
+        from repro.lint.rules import LintConfig
+
+        config = config or LintConfig()
+        profiles = list(profiles)
+        results = self._fan_out(partial(_lint_shard, config=config),
+                                self._chunks(profiles))
+        findings = []
+        summaries = []
+        for shard in results:
+            for shard_findings, summary in shard:
+                findings.extend(shard_findings)
+                summaries.append(summary)
+        findings.extend(
+            run_workflow_rules(profiles, config, summaries=summaries))
+        findings.sort(key=Finding.sort_key)
+        return LintReport(findings=findings,
+                          tasks=sorted(p.task for p in profiles))
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def analyze(
@@ -221,10 +278,15 @@ class ParallelAnalyzer:
         with_regions: bool = False,
         region_bytes: int = 65536,
         page_size: int = 4096,
+        lint: bool = False,
+        lint_config: Optional["LintConfig"] = None,
     ) -> AnalysisResult:
-        """Load a trace directory and build both graphs."""
+        """Load a trace directory and build both graphs (and, optionally,
+        the lint report in the same pass)."""
         profiles = self.load(directory)
         ftg = self.build_ftg(profiles, task_order)
         sdg = self.build_sdg(profiles, task_order, with_regions=with_regions,
                              region_bytes=region_bytes, page_size=page_size)
-        return AnalysisResult(profiles=profiles, ftg=ftg, sdg=sdg)
+        lint_report = self.lint(profiles, lint_config) if lint else None
+        return AnalysisResult(profiles=profiles, ftg=ftg, sdg=sdg,
+                              lint_report=lint_report)

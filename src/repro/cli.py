@@ -28,7 +28,8 @@ from repro.guidelines import recommend
 
 __all__ = ["run_main", "analyze_main"]
 
-_WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "corner")
+_WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "corner",
+              "corner-hazards")
 
 
 def _build_workload(name: str, scale: float):
@@ -73,7 +74,7 @@ def _build_workload(name: str, scale: float):
             bytes_per_proc=max(int((1 << 21) * scale), 1 << 12),
         )
         return build_h5bench_write(params), None
-    if name == "corner":
+    if name in ("corner", "corner-hazards"):
         from repro.workloads.corner_case import CornerCaseParams, build_corner_case
 
         params = CornerCaseParams(
@@ -81,6 +82,9 @@ def _build_workload(name: str, scale: float):
             n_datasets=200,
             file_bytes=max(int((10 << 20) * scale), 200 * 4),
             read_repeats=10,
+            # The hazard variant appends intentionally racy tasks — the
+            # dayu-lint ground-truth fixture (see repro.lint).
+            seed_hazards=(name == "corner-hazards"),
         )
         return build_corner_case(params), None
     raise SystemExit(f"unknown workload {name!r}; choose from {_WORKLOADS}")
@@ -147,6 +151,9 @@ def analyze_main(argv: List[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for loading and graph "
                              "construction (default 1 = serial)")
+    parser.add_argument("--lint", action="store_true",
+                        help="also run dayu-lint in the same sharded pass "
+                             "and write lint.json next to the graphs")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -196,6 +203,15 @@ def analyze_main(argv: List[str] | None = None) -> int:
             print(f"  - {rec}")
     (out / "insights.json").write_text(report.to_json())
     print(f"\nWrote {out}/insights.json")
+
+    if args.lint:
+        lint_report = analyzer.lint(profiles)
+        print()
+        for finding in lint_report.findings:
+            print(f"  {finding}")
+        print(lint_report.summary())
+        (out / "lint.json").write_text(lint_report.to_json())
+        print(f"Wrote {out}/lint.json")
     return 0
 
 

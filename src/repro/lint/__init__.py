@@ -1,0 +1,73 @@
+"""``repro.lint`` — dayu-lint: static dataflow hazard detection and
+trace sanitizing over saved DaYu task profiles.
+
+Three rule families over the same joined VOL/VFD trace data the
+FTG/SDG are built from:
+
+- **DY1xx** semantic anti-patterns (dead writes, phantom reads,
+  small-I/O amplification, layout disagreements);
+- **DY2xx** dataflow hazards (RAW/WAR/WAW conflicts between tasks with
+  no happens-before path in the trace-derived dependency DAG);
+- **DY3xx** trace-integrity violations (the sanitizer: cross-layer byte
+  accounting, malformed extents, escaped timestamps).
+
+Typical use::
+
+    from repro.lint import LintConfig, lint_profiles
+    report = lint_profiles(profiles, LintConfig(disable=("DY103",)))
+    if report.errors:
+        print(report.to_json())
+
+or from the shell: ``dayu-lint traces/ --format sarif --out lint.sarif``.
+"""
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import LintConfig, LintRule, all_rules, get_rule
+from repro.lint.context import (
+    ObjectAccess,
+    OrderingInfo,
+    ProfileSummary,
+    WorkflowIndex,
+    build_index,
+    compute_ordering,
+    summarize_profile,
+)
+
+# Importing the engine pulls in the rule modules, populating the registry.
+from repro.lint.engine import (
+    LintReport,
+    baseline_text,
+    lint_profiles,
+    load_baseline,
+    parse_baseline,
+    run_profile_rules,
+    run_workflow_rules,
+    save_baseline,
+)
+from repro.lint.sarif import to_sarif, to_sarif_dict
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintRule",
+    "LintConfig",
+    "LintReport",
+    "all_rules",
+    "get_rule",
+    "ObjectAccess",
+    "ProfileSummary",
+    "WorkflowIndex",
+    "OrderingInfo",
+    "build_index",
+    "compute_ordering",
+    "summarize_profile",
+    "lint_profiles",
+    "run_profile_rules",
+    "run_workflow_rules",
+    "load_baseline",
+    "save_baseline",
+    "parse_baseline",
+    "baseline_text",
+    "to_sarif",
+    "to_sarif_dict",
+]

@@ -1,0 +1,143 @@
+"""The ``dayu-lint`` command-line entry point.
+
+Examples::
+
+    dayu-lint traces/                         # human-readable findings
+    dayu-lint traces/ --format sarif --out lint.sarif
+    dayu-lint traces/ --disable DY1 --jobs 8  # hazards+sanitizer only
+    dayu-lint traces/ --write-baseline .dayu-lint-baseline
+    dayu-lint traces/ --baseline .dayu-lint-baseline   # fail on NEW errors
+
+Exit status: 0 when no (non-suppressed) error-severity findings remain,
+1 when new errors exist, 2 on usage problems (no traces found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+__all__ = ["lint_main"]
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="dayu-lint",
+        description="Static dataflow hazard detector and trace sanitizer "
+                    "over saved DaYu task profiles.",
+    )
+    parser.add_argument("traces", nargs="?",
+                        help="directory of saved task profiles "
+                             "(*.json and/or *.dayu)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format (default text)")
+    parser.add_argument("--out",
+                        help="write the report to a file instead of stdout")
+    parser.add_argument("--enable", action="append", default=[],
+                        metavar="CODE",
+                        help="enable a rule or family by code/prefix "
+                             "(e.g. DY105, DY1); repeatable")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="CODE",
+                        help="disable a rule or family by code/prefix; "
+                             "repeatable, wins over --enable")
+    parser.add_argument("--baseline",
+                        help="baseline file of accepted finding "
+                             "fingerprints to suppress")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the current findings' fingerprints to "
+                             "PATH and exit 0")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for loading and per-profile "
+                             "rules (default 1 = serial)")
+    parser.add_argument("--page-size", type=int, default=4096,
+                        help="page size the traces were recorded at")
+    parser.add_argument("--with-io-records", action="store_true",
+                        help="load per-operation records for byte-exact "
+                             "extents and the full DY3xx sanitizer "
+                             "(slower on large traces)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list every registered rule and exit")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if not args.list_rules and not args.traces:
+        parser.error("a traces directory is required "
+                     "(or use --list-rules)")
+    return args
+
+
+def _emit(text: str, out_path) -> None:
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def lint_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``dayu-lint``."""
+    args = _parse_args(argv)
+
+    from repro.lint import (
+        LintConfig,
+        all_rules,
+        load_baseline,
+        save_baseline,
+        to_sarif,
+    )
+
+    if args.list_rules:
+        config = LintConfig(enable=tuple(args.enable),
+                            disable=tuple(args.disable))
+        for r in all_rules():
+            state = "on " if config.is_enabled(r) else "off"
+            print(f"{r.code}  [{state}] {r.severity.value:<7} "
+                  f"{r.scope:<8} {r.name}: {r.description}")
+        return 0
+
+    from repro.analyzer import ParallelAnalyzer
+
+    try:
+        config = LintConfig(
+            enable=tuple(args.enable),
+            disable=tuple(args.disable),
+            page_size=args.page_size,
+        )
+    except ValueError as exc:
+        print(f"dayu-lint: {exc}", file=sys.stderr)
+        return 2
+
+    analyzer = ParallelAnalyzer(max_workers=args.jobs,
+                                with_io_records=args.with_io_records)
+    profiles = analyzer.load(args.traces)
+    if not profiles:
+        print(f"no saved profiles found in {args.traces!r}", file=sys.stderr)
+        return 2
+    report = analyzer.lint(profiles, config)
+
+    if args.write_baseline:
+        save_baseline(args.write_baseline, report.findings)
+        print(f"wrote {len({f.fingerprint for f in report.findings})} "
+              f"fingerprint(s) to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        report = report.apply_baseline(load_baseline(args.baseline))
+
+    if args.format == "json":
+        _emit(report.to_json(), args.out)
+    elif args.format == "sarif":
+        _emit(to_sarif(report), args.out)
+    else:
+        lines = [str(f) for f in report.findings]
+        lines.append(report.summary())
+        _emit("\n".join(lines) + "\n", args.out)
+        if args.out:
+            print(report.summary())
+
+    return 1 if report.errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(lint_main())

@@ -1,0 +1,189 @@
+"""The lint engine: run rules over profiles, collect a report, baseline.
+
+:func:`lint_profiles` is the single entry point both the CLI and
+:class:`~repro.analyzer.parallel.ParallelAnalyzer` reduce to.  It splits
+the enabled rules by scope — profile-scoped rules see each
+:class:`~repro.mapper.mapper.TaskProfile` in isolation (and are exactly
+the part the parallel analyzer ships to worker processes), workflow-scoped
+rules see the cross-task :class:`~repro.lint.context.WorkflowIndex` plus
+the happens-before oracle — and folds everything into a deterministic,
+severity-ordered :class:`LintReport`.
+
+Baselines are flat text files of finding fingerprints (one per line,
+``#`` comments allowed).  A fingerprint covers a finding's stable
+identity only, so re-running the same workflow keeps suppressing the
+same accepted findings while anything new still fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.context import (
+    OrderingInfo,
+    build_index,
+    compute_ordering,
+    summarize_profile,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import LintConfig, LintRule
+from repro.mapper.mapper import TaskProfile
+
+# Importing the rule modules populates the registry.
+from repro.lint import hazards as _hazards  # noqa: F401
+from repro.lint import integrity as _integrity  # noqa: F401
+from repro.lint import semantic as _semantic  # noqa: F401
+
+__all__ = [
+    "LintReport",
+    "lint_profiles",
+    "run_profile_rules",
+    "run_workflow_rules",
+    "load_baseline",
+    "save_baseline",
+    "parse_baseline",
+    "baseline_text",
+]
+
+_REPORT_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Deterministically ordered findings plus suppression bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings that matched the baseline and were suppressed.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Tasks that were linted (recorded even when everything is clean).
+    tasks: List[str] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {sev.value: 0 for sev in Severity}
+        for f in self.findings:
+            out[f.severity.value] += 1
+        return out
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def apply_baseline(self, fingerprints: Set[str]) -> "LintReport":
+        """Split findings into kept vs baseline-suppressed."""
+        kept = [f for f in self.findings if f.fingerprint not in fingerprints]
+        gone = [f for f in self.findings if f.fingerprint in fingerprints]
+        return LintReport(findings=kept,
+                          suppressed=[*self.suppressed, *gone],
+                          tasks=list(self.tasks))
+
+    def summary(self) -> str:
+        c = self.counts
+        parts = [f"{c['error']} error(s)", f"{c['warning']} warning(s)",
+                 f"{c['note']} note(s)"]
+        if self.suppressed:
+            parts.append(f"{len(self.suppressed)} baseline-suppressed")
+        return (f"dayu-lint: {', '.join(parts)} "
+                f"across {len(self.tasks)} task(s)")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": _REPORT_VERSION,
+            "tool": "dayu-lint",
+            "tasks": list(self.tasks),
+            "counts": self.counts,
+            "findings": [f.to_json_dict() for f in self.findings],
+            "suppressed": [f.fingerprint for f in self.suppressed],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent) + "\n"
+
+
+def run_profile_rules(profile: TaskProfile,
+                      config: LintConfig) -> List[Finding]:
+    """Evaluate every enabled profile-scoped rule against one profile.
+
+    This is the unit :class:`~repro.analyzer.parallel.ParallelAnalyzer`
+    ships to worker processes — it closes over nothing but the picklable
+    config.
+    """
+    findings: List[Finding] = []
+    for r in config.enabled_rules(scope="profile"):
+        findings.extend(r.check(profile, config))
+    return findings
+
+
+def run_workflow_rules(profiles: Sequence[TaskProfile],
+                       config: LintConfig,
+                       summaries=None) -> List[Finding]:
+    """Evaluate every enabled workflow-scoped rule over the cross-task
+    index.  ``summaries`` may carry pre-computed per-profile digests (from
+    parallel workers); missing ones are computed here."""
+    rules = config.enabled_rules(scope="workflow")
+    if not rules:
+        return []
+    if summaries is None:
+        summaries = [summarize_profile(p, config.page_size)
+                     for p in profiles]
+    index = build_index(summaries)
+    ordering = compute_ordering(profiles)
+    findings: List[Finding] = []
+    for r in rules:
+        findings.extend(r.check(index, ordering, config))
+    return findings
+
+
+def lint_profiles(profiles: Sequence[TaskProfile],
+                  config: Optional[LintConfig] = None) -> LintReport:
+    """Run all enabled rules over a workflow's task profiles (serially)."""
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    for p in profiles:
+        findings.extend(run_profile_rules(p, config))
+    findings.extend(run_workflow_rules(profiles, config))
+    findings.sort(key=Finding.sort_key)
+    return LintReport(findings=findings,
+                      tasks=sorted(p.task for p in profiles))
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def parse_baseline(text: str) -> Set[str]:
+    """Fingerprints from baseline text (one per line; ``#`` comments)."""
+    out: Set[str] = set()
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            out.add(line)
+    return out
+
+
+def load_baseline(path: str) -> Set[str]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_baseline(fh.read())
+
+
+def baseline_text(findings: Iterable[Finding]) -> str:
+    """Render findings as a baseline file (sorted, annotated)."""
+    lines = ["# dayu-lint baseline: accepted finding fingerprints.",
+             "# Regenerate with: dayu-lint <traces> --write-baseline <path>"]
+    seen = set()
+    for f in sorted(findings, key=Finding.sort_key):
+        if f.fingerprint in seen:
+            continue
+        seen.add(f.fingerprint)
+        lines.append(f"{f.fingerprint}  # {f.code} {f.subject}")
+    return "\n".join(lines) + "\n"
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(baseline_text(findings))

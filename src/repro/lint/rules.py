@@ -1,0 +1,134 @@
+"""The lint rule registry: stable codes, severities, enablement.
+
+Three rule families, one code block each (codes are stable API — never
+reused for a different meaning once shipped):
+
+- **DY1xx — semantic anti-patterns**: dataflow shapes that are legal but
+  almost always wrong or wasteful (dead writes, phantom reads, small-I/O
+  amplification, layout disagreements).
+- **DY2xx — dataflow hazards**: WAW/RAW/WAR conflicts between tasks with
+  no happens-before path in the trace-derived dependency DAG — the races
+  a scheduler reorder or a real concurrent run would expose.
+- **DY3xx — trace integrity**: the trace sanitizer; violations mean the
+  profile data itself is inconsistent (VOL and VFD byte accounting
+  disagree, extents are malformed, timestamps escape their task window)
+  and downstream analysis cannot be trusted.
+
+Rules register themselves via :func:`rule`; importing
+:mod:`repro.lint.semantic`, :mod:`repro.lint.hazards` and
+:mod:`repro.lint.integrity` populates the registry (package ``__init__``
+does this).  Each rule is ``profile``-scoped (evaluated per task profile,
+shardable across worker processes) or ``workflow``-scoped (evaluated once
+over the cross-task :class:`~repro.lint.context.WorkflowIndex`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Severity
+
+__all__ = ["LintRule", "LintConfig", "rule", "all_rules", "get_rule"]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule.
+
+    Attributes:
+        code: Stable ``DYnnn`` identifier.
+        name: Short kebab-case name (shown next to the code).
+        severity: Default severity of its findings.
+        scope: ``"profile"`` (per-task, shardable) or ``"workflow"``
+            (cross-task, needs the full index).
+        description: One-line summary for ``--list-rules`` and SARIF.
+        default_enabled: Whether the rule runs without explicit
+            ``--enable``.  Opt-in rules overlap the optimization advisor's
+            recommendations and fire on intentionally-inefficient bundled
+            fixtures, so they are registered but off by default.
+        check: The rule body.  Profile scope:
+            ``check(profile, config) -> findings``; workflow scope:
+            ``check(index, ordering, config) -> findings``.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    scope: str
+    description: str
+    default_enabled: bool = True
+    check: Optional[Callable] = None
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def rule(code: str, name: str, severity: Severity, scope: str,
+         description: str, default_enabled: bool = True):
+    """Class-less registration decorator for rule check functions."""
+    if scope not in ("profile", "workflow"):
+        raise ValueError(f"bad rule scope {scope!r}")
+
+    def register(fn: Callable) -> Callable:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code}")
+        _REGISTRY[code] = LintRule(
+            code=code, name=name, severity=severity, scope=scope,
+            description=description, default_enabled=default_enabled,
+            check=fn,
+        )
+        return fn
+
+    return register
+
+
+def all_rules() -> List[LintRule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> LintRule:
+    return _REGISTRY[code]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule selection and thresholds (picklable: plain fields).
+
+    ``enable``/``disable`` entries are codes or code prefixes — ``"DY2"``
+    selects the whole hazard family, ``"DY105"`` one rule.  ``disable``
+    wins over ``enable``; both win over each rule's ``default_enabled``.
+    """
+
+    enable: Tuple[str, ...] = ()
+    disable: Tuple[str, ...] = ()
+    #: Page size the traces' region histograms were recorded at; only used
+    #: for extent bounds when per-operation records are unavailable.
+    page_size: int = 4096
+    #: DY103 thresholds: an object is a small-I/O amplifier when one task
+    #: issues at least ``small_io_min_ops`` raw operations against it at
+    #: an average size of at most ``small_io_max_avg_bytes``.
+    small_io_min_ops: int = 128
+    small_io_max_avg_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        for sel in (*self.enable, *self.disable):
+            if not sel.startswith("DY"):
+                raise ValueError(f"bad rule selector {sel!r}: "
+                                 "use a DYnnn code or DYn prefix")
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.small_io_min_ops < 1 or self.small_io_max_avg_bytes < 1:
+            raise ValueError("small-I/O thresholds must be positive")
+
+    def is_enabled(self, r: LintRule) -> bool:
+        if any(r.code.startswith(sel) for sel in self.disable):
+            return False
+        if any(r.code.startswith(sel) for sel in self.enable):
+            return True
+        return r.default_enabled
+
+    def enabled_rules(self, scope: Optional[str] = None) -> List[LintRule]:
+        return [r for r in all_rules()
+                if self.is_enabled(r) and (scope is None or r.scope == scope)]

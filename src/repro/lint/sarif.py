@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 emitter for dayu-lint reports.
+
+One run, one tool (``dayu-lint``), one reportingDescriptor per
+*registered* rule (not just rules that fired — SARIF viewers use the
+rule table for filtering), one result per finding.  Severities map 1:1
+onto SARIF levels (``error``/``warning``/``note``); the finding's stable
+fingerprint is published as a ``partialFingerprints`` entry so services
+like GitHub code scanning track a finding across runs the same way the
+local baseline file does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+from repro.lint.rules import all_rules
+
+__all__ = ["to_sarif_dict", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+_TOOL_NAME = "dayu-lint"
+_TOOL_URI = "https://github.com/paper-repro/dayu"
+
+
+def _artifact_uri(location: Optional[str]) -> Optional[str]:
+    if not location:
+        return None
+    if "://" in location:
+        return location
+    # SARIF wants a URI; trace paths in the simulated FS are absolute.
+    return "file://" + location if location.startswith("/") else location
+
+
+def _result(finding: Finding, rule_index: dict) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "partialFingerprints": {
+            "dayuLintFingerprint/v1": finding.fingerprint,
+        },
+        "properties": {
+            "subject": finding.subject,
+            "tasks": list(finding.tasks),
+            "evidence": finding.evidence,
+        },
+    }
+    uri = _artifact_uri(finding.location)
+    if uri:
+        result["locations"] = [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+            },
+        }]
+    return result
+
+
+def to_sarif_dict(report: LintReport,
+                  tool_version: str = "0.1.0") -> dict:
+    """Render a lint report as a SARIF 2.1.0 log (as a JSON-ready dict)."""
+    rules = all_rules()
+    rule_index = {r.code: i for i, r in enumerate(rules)}
+    descriptors = [
+        {
+            "id": r.code,
+            "name": r.name,
+            "shortDescription": {"text": r.description},
+            "defaultConfiguration": {
+                "level": r.severity.value,
+                "enabled": r.default_enabled,
+            },
+            "properties": {"scope": r.scope},
+        }
+        for r in rules
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _TOOL_URI,
+                    "version": tool_version,
+                    "rules": descriptors,
+                },
+            },
+            "results": [_result(f, rule_index) for f in report.findings],
+            "properties": {
+                "tasks": list(report.tasks),
+                "suppressedFingerprints": [
+                    f.fingerprint for f in report.suppressed
+                ],
+            },
+        }],
+    }
+
+
+def to_sarif(report: LintReport, tool_version: str = "0.1.0",
+             indent: int = 2) -> str:
+    return json.dumps(to_sarif_dict(report, tool_version),
+                      indent=indent) + "\n"

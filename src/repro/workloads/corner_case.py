@@ -29,12 +29,20 @@ class CornerCaseParams:
         file_bytes: Total raw data across all datasets (paper: 200 MB).
         read_repeats: Times each dataset is re-read after creation — the
             swept axis of Figure 9c (dataset I/O operation count).
+        seed_hazards: Append a second file with intentional dataflow
+            hazards — two unordered tasks truncating and rewriting the
+            same dataset (a WAW race: dayu-lint DY203) and a third task
+            reading a dataset whose data was never written (a phantom
+            read: DY102).  Off by default so the overhead experiments and
+            benchmarks keep the paper's single-task shape; on, the
+            workload is the lint test fixture.
     """
 
     data_dir: str = "/pfs/corner"
     n_datasets: int = 200
     file_bytes: int = 2 << 20
     read_repeats: int = 4
+    seed_hazards: bool = False
 
     def __post_init__(self) -> None:
         if self.n_datasets < 1 or self.file_bytes < self.n_datasets * 4:
@@ -45,6 +53,10 @@ class CornerCaseParams:
     @property
     def out_file(self) -> str:
         return f"{self.data_dir}/corner_case.h5"
+
+    @property
+    def hazard_file(self) -> str:
+        return f"{self.data_dir}/hazard.h5"
 
     @property
     def elems_per_dataset(self) -> int:
@@ -75,6 +87,45 @@ def build_corner_case(params: CornerCaseParams) -> Workflow:
                 f[f"d{d:04d}"].read()
         f.close()
 
-    return Workflow("corner_case", [
-        Stage("corner", [Task("corner_case", body)], parallel=False)
-    ])
+    stages = [Stage("corner", [Task("corner_case", body)], parallel=False)]
+    if p.seed_hazards:
+        stages.append(_hazard_stage(p))
+    return Workflow("corner_case", stages)
+
+
+def _hazard_stage(p: CornerCaseParams) -> Stage:
+    """Intentionally hazardous tasks — the dayu-lint ground-truth fixture.
+
+    Both writers open the hazard file with mode ``"w"`` (truncate), which
+    performs no reads, so the trace-derived dependency DAG gives them no
+    ordering edge: rewriting the same ``dup`` dataset at the same offsets
+    is an unordered overlapping double write (DY203/WAW).  ``ghost`` is
+    created with a shape but its data is never written by anyone, and the
+    reader consumes it anyway (DY102 phantom read — zero-filled content).
+    """
+    n = max(p.elems_per_dataset, 1)
+
+    def writer_a(rt: TaskRuntime) -> None:
+        f = rt.open(p.hazard_file, "w")
+        f.create_dataset("dup", shape=(n,), dtype="f4",
+                         data=np.full(n, 1.0, dtype=np.float32))
+        f.close()
+
+    def writer_b(rt: TaskRuntime) -> None:
+        f = rt.open(p.hazard_file, "w")
+        f.create_dataset("dup", shape=(n,), dtype="f4",
+                         data=np.full(n, 2.0, dtype=np.float32))
+        f.create_dataset("ghost", shape=(n,), dtype="f4")
+        f.close()
+
+    def phantom_reader(rt: TaskRuntime) -> None:
+        f = rt.open(p.hazard_file, "r")
+        f["dup"].read()
+        f["ghost"].read()
+        f.close()
+
+    return Stage("hazards", [
+        Task("hazard_writer_a", writer_a),
+        Task("hazard_writer_b", writer_b),
+        Task("hazard_phantom_reader", phantom_reader),
+    ], parallel=False)
