@@ -105,6 +105,22 @@ def _lint_shard(profiles: Sequence[TaskProfile], config):
             for p in profiles]
 
 
+def _diff_shard(profiles: Sequence[TaskProfile], contracts, config):
+    """Worker-side drift unit: per-task contract-vs-trace findings.
+
+    The DY45x rules are per-task (summary + that task's contract), so the
+    whole join shards; only findings travel back.
+    """
+    from repro.lint.context import summarize_profile
+    from repro.lint.engine import run_drift_rules
+
+    out = []
+    for p in profiles:
+        summary = summarize_profile(p, config.page_size)
+        out.append(run_drift_rules(summary, contracts.get(p.task), config))
+    return out
+
+
 @dataclass
 class AnalysisResult:
     """Everything :meth:`ParallelAnalyzer.analyze` produces for one run."""
@@ -264,6 +280,35 @@ class ParallelAnalyzer:
                 summaries.append(summary)
         findings.extend(
             run_workflow_rules(profiles, config, summaries=summaries))
+        findings.sort(key=Finding.sort_key)
+        return LintReport(findings=findings,
+                          tasks=sorted(p.task for p in profiles))
+
+    def diff(
+        self,
+        profiles: Sequence[TaskProfile],
+        contracts: Dict[str, object],
+        config: Optional["LintConfig"] = None,
+    ) -> "LintReport":
+        """Sharded :func:`~repro.lint.engine.diff_profiles` — same report.
+
+        The drift (DY45x) join is per-task, so summaries and rule
+        evaluation both run in the worker pool; the serial part is just
+        the deterministic sort.  ``contracts`` maps task name to its
+        effective :class:`~repro.workflow.contracts.TaskContract`.
+        """
+        from repro.lint.engine import LintReport
+        from repro.lint.findings import Finding
+        from repro.lint.rules import LintConfig
+
+        config = config or LintConfig()
+        profiles = list(profiles)
+        results = self._fan_out(
+            partial(_diff_shard, contracts=dict(contracts), config=config),
+            self._chunks(profiles))
+        findings = [f for shard in results
+                    for task_findings in shard
+                    for f in task_findings]
         findings.sort(key=Finding.sort_key)
         return LintReport(findings=findings,
                           tasks=sorted(p.task for p in profiles))

@@ -26,68 +26,10 @@ from repro.diagnostics import diagnose
 from repro.experiments.common import fresh_env
 from repro.guidelines import recommend
 
+from repro.workloads.registry import WORKLOADS as _WORKLOADS
+from repro.workloads.registry import build_workload as _build_workload
+
 __all__ = ["run_main", "analyze_main"]
-
-_WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "corner",
-              "corner-hazards")
-
-
-def _build_workload(name: str, scale: float):
-    """Instantiate a workload (and its input preparer) at a given scale."""
-    if name == "pyflextrkr":
-        from repro.workloads.pyflextrkr import (
-            PyflextrkrParams, build_pyflextrkr, prepare_pyflextrkr_inputs)
-
-        params = PyflextrkrParams(
-            data_dir="/beegfs/flex",
-            n_files=max(int(8 * scale), 2),
-            grid=max(int(4096 * scale), 64),
-            n_parallel=max(int(4 * scale), 1),
-        )
-        return build_pyflextrkr(params), (
-            lambda cluster: prepare_pyflextrkr_inputs(cluster, params))
-    if name == "ddmd":
-        from repro.workloads.ddmd import DdmdParams, build_ddmd
-
-        params = DdmdParams(
-            data_dir="/beegfs/ddmd",
-            n_sim_tasks=max(int(12 * scale), 2),
-            frames=max(int(512 * scale), 16),
-            chunk_elems=max(int(512 * scale), 16),
-        )
-        return build_ddmd(params), None
-    if name == "arldm":
-        from repro.workloads.arldm import ArldmParams, build_arldm
-
-        params = ArldmParams(
-            data_dir="/beegfs/arldm",
-            items=max(int(20 * scale), 4),
-            avg_image_bytes=max(int(8192 * scale), 256),
-        )
-        return build_arldm(params), None
-    if name == "h5bench":
-        from repro.workloads.h5bench import H5benchParams, build_h5bench_write
-
-        params = H5benchParams(
-            data_dir="/beegfs/h5bench",
-            n_procs=max(int(4 * scale), 1),
-            bytes_per_proc=max(int((1 << 21) * scale), 1 << 12),
-        )
-        return build_h5bench_write(params), None
-    if name in ("corner", "corner-hazards"):
-        from repro.workloads.corner_case import CornerCaseParams, build_corner_case
-
-        params = CornerCaseParams(
-            data_dir="/beegfs/corner",
-            n_datasets=200,
-            file_bytes=max(int((10 << 20) * scale), 200 * 4),
-            read_repeats=10,
-            # The hazard variant appends intentionally racy tasks — the
-            # dayu-lint ground-truth fixture (see repro.lint).
-            seed_hazards=(name == "corner-hazards"),
-        )
-        return build_corner_case(params), None
-    raise SystemExit(f"unknown workload {name!r}; choose from {_WORKLOADS}")
 
 
 def run_main(argv: List[str] | None = None) -> int:

@@ -9,7 +9,11 @@ FTG/SDG are built from:
 - **DY2xx** dataflow hazards (RAW/WAR/WAW conflicts between tasks with
   no happens-before path in the trace-derived dependency DAG);
 - **DY3xx** trace-integrity violations (the sanitizer: cross-layer byte
-  accounting, malformed extents, escaped timestamps).
+  accounting, malformed extents, escaped timestamps);
+- **DY40x** pre-run contract rules — fire from the workflow definition
+  alone, over declared + AST-inferred access contracts (no traces);
+- **DY45x** contract drift — the differential join of contracts against
+  observed traces.
 
 Typical use::
 
@@ -18,7 +22,13 @@ Typical use::
     if report.errors:
         print(report.to_json())
 
-or from the shell: ``dayu-lint traces/ --format sarif --out lint.sarif``.
+pre-run, with no traces on disk::
+
+    from repro.lint import lint_workflow
+    report = lint_workflow(workflow)   # DY40x over contracts
+
+or from the shell: ``dayu-lint traces/ --format sarif --out lint.sarif``,
+``dayu-lint --static corner-hazards``, ``dayu-lint traces/ --diff ddmd``.
 """
 
 from repro.lint.findings import Finding, Severity
@@ -37,14 +47,29 @@ from repro.lint.context import (
 from repro.lint.engine import (
     LintReport,
     baseline_text,
+    diff_profiles,
     lint_profiles,
+    lint_workflow,
     load_baseline,
     parse_baseline,
+    run_contract_rules,
+    run_drift_rules,
     run_profile_rules,
     run_workflow_rules,
     save_baseline,
 )
+from repro.lint.predict import (
+    StaticContext,
+    build_predicted_sdg,
+    build_static_context,
+    synthetic_profiles,
+)
 from repro.lint.sarif import to_sarif, to_sarif_dict
+from repro.lint.static import (
+    WorkflowContracts,
+    extract_workflow_contracts,
+    infer_contract,
+)
 
 __all__ = [
     "Finding",
@@ -62,8 +87,19 @@ __all__ = [
     "compute_ordering",
     "summarize_profile",
     "lint_profiles",
+    "lint_workflow",
+    "diff_profiles",
     "run_profile_rules",
     "run_workflow_rules",
+    "run_contract_rules",
+    "run_drift_rules",
+    "StaticContext",
+    "build_static_context",
+    "build_predicted_sdg",
+    "synthetic_profiles",
+    "WorkflowContracts",
+    "extract_workflow_contracts",
+    "infer_contract",
     "load_baseline",
     "save_baseline",
     "parse_baseline",

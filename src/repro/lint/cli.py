@@ -7,6 +7,16 @@ Examples::
     dayu-lint traces/ --disable DY1 --jobs 8  # hazards+sanitizer only
     dayu-lint traces/ --write-baseline .dayu-lint-baseline
     dayu-lint traces/ --baseline .dayu-lint-baseline   # fail on NEW errors
+    dayu-lint --static corner-hazards         # pre-run DY40x, no traces
+    dayu-lint traces/ --diff ddmd             # DY45x contract drift
+
+``--static WORKLOAD`` lints the named bundled workflow *definition*
+through the DY40x contract rules — nothing is executed and no traces
+are read.  ``--diff WORKLOAD`` joins an existing trace directory
+against the same workflow's access contracts through the DY45x drift
+rules.  Both resolve workload names (and ``--scale``) through
+:mod:`repro.workloads.registry`, so the contracts describe exactly the
+workflow ``dayu-run`` would execute.
 
 Exit status: 0 when no (non-suppressed) error-severity findings remain,
 1 when new errors exist, 2 on usage problems (no traces found).
@@ -30,6 +40,15 @@ def _parse_args(argv):
     parser.add_argument("traces", nargs="?",
                         help="directory of saved task profiles "
                              "(*.json and/or *.dayu)")
+    parser.add_argument("--static", metavar="WORKLOAD", dest="static",
+                        help="lint a bundled workflow definition pre-run "
+                             "(DY40x contract rules; no traces read)")
+    parser.add_argument("--diff", metavar="WORKLOAD", dest="diff",
+                        help="check the traces for drift against the named "
+                             "bundled workflow's access contracts (DY45x)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale multiplier for --static/--diff "
+                             "(default 1.0; match the dayu-run scale)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format (default text)")
     parser.add_argument("--out",
@@ -62,9 +81,17 @@ def _parse_args(argv):
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if not args.list_rules and not args.traces:
+    if args.static and args.diff:
+        parser.error("--static and --diff are mutually exclusive")
+    if args.static and args.traces:
+        parser.error("--static lints a workflow definition; "
+                     "it takes no traces directory")
+    if args.diff and not args.traces:
+        parser.error("--diff joins saved traces against contracts; "
+                     "a traces directory is required")
+    if not args.list_rules and not args.static and not args.traces:
         parser.error("a traces directory is required "
-                     "(or use --list-rules)")
+                     "(or use --static/--list-rules)")
     return args
 
 
@@ -97,8 +124,6 @@ def lint_main(argv: List[str] | None = None) -> int:
                   f"{r.scope:<8} {r.name}: {r.description}")
         return 0
 
-    from repro.analyzer import ParallelAnalyzer
-
     try:
         config = LintConfig(
             enable=tuple(args.enable),
@@ -109,13 +134,34 @@ def lint_main(argv: List[str] | None = None) -> int:
         print(f"dayu-lint: {exc}", file=sys.stderr)
         return 2
 
-    analyzer = ParallelAnalyzer(max_workers=args.jobs,
-                                with_io_records=args.with_io_records)
-    profiles = analyzer.load(args.traces)
-    if not profiles:
-        print(f"no saved profiles found in {args.traces!r}", file=sys.stderr)
-        return 2
-    report = analyzer.lint(profiles, config)
+    if args.static:
+        from repro.lint import lint_workflow
+        from repro.workloads.registry import build_workload
+
+        workflow, _prepare = build_workload(args.static, args.scale)
+        report = lint_workflow(workflow, config)
+    else:
+        from repro.analyzer import ParallelAnalyzer
+
+        analyzer = ParallelAnalyzer(max_workers=args.jobs,
+                                    with_io_records=args.with_io_records)
+        profiles = analyzer.load(args.traces)
+        if not profiles:
+            print(f"no saved profiles found in {args.traces!r}",
+                  file=sys.stderr)
+            return 2
+        if args.diff:
+            from repro.lint import diff_profiles, extract_workflow_contracts
+            from repro.workloads.registry import build_workload
+
+            workflow, _prepare = build_workload(args.diff, args.scale)
+            contracts = extract_workflow_contracts(workflow).effective()
+            if args.jobs > 1:
+                report = analyzer.diff(profiles, contracts, config)
+            else:
+                report = diff_profiles(profiles, contracts, config)
+        else:
+            report = analyzer.lint(profiles, config)
 
     if args.write_baseline:
         save_baseline(args.write_baseline, report.findings)

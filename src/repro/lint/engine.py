@@ -9,6 +9,11 @@ rules see the cross-task :class:`~repro.lint.context.WorkflowIndex` plus
 the happens-before oracle — and folds everything into a deterministic,
 severity-ordered :class:`LintReport`.
 
+Two trace-less entry points sit beside it: :func:`lint_workflow` runs
+the pre-run ``contract``-scoped DY40x rules over a workflow definition
+(no traces needed), and :func:`diff_profiles` joins saved traces against
+the same contracts through the ``drift``-scoped DY45x rules.
+
 Baselines are flat text files of finding fingerprints (one per line,
 ``#`` comments allowed).  A fingerprint covers a finding's stable
 identity only, so re-running the same workflow keeps suppressing the
@@ -32,15 +37,21 @@ from repro.lint.rules import LintConfig, LintRule
 from repro.mapper.mapper import TaskProfile
 
 # Importing the rule modules populates the registry.
+from repro.lint import drift as _drift  # noqa: F401
 from repro.lint import hazards as _hazards  # noqa: F401
 from repro.lint import integrity as _integrity  # noqa: F401
+from repro.lint import prerun as _prerun  # noqa: F401
 from repro.lint import semantic as _semantic  # noqa: F401
 
 __all__ = [
     "LintReport",
     "lint_profiles",
+    "lint_workflow",
+    "diff_profiles",
     "run_profile_rules",
     "run_workflow_rules",
+    "run_contract_rules",
+    "run_drift_rules",
     "load_baseline",
     "save_baseline",
     "parse_baseline",
@@ -151,6 +162,71 @@ def lint_profiles(profiles: Sequence[TaskProfile],
     findings.sort(key=Finding.sort_key)
     return LintReport(findings=findings,
                       tasks=sorted(p.task for p in profiles))
+
+
+# ----------------------------------------------------------------------
+# Pre-run (contract) and drift linting
+# ----------------------------------------------------------------------
+def run_contract_rules(ctx, config: LintConfig) -> List[Finding]:
+    """Evaluate every enabled ``contract``-scoped (DY40x) rule over a
+    pre-run :class:`~repro.lint.predict.StaticContext`."""
+    findings: List[Finding] = []
+    for r in config.enabled_rules(scope="contract"):
+        findings.extend(r.check(ctx, config))
+    return findings
+
+
+def lint_workflow(workflow, config: Optional[LintConfig] = None,
+                  contracts=None) -> LintReport:
+    """Lint a workflow *definition* — no traces required.
+
+    Extracts (or accepts) access contracts for every task, joins them
+    into the static context, and runs the DY40x pre-run rules.
+    """
+    from repro.lint.predict import build_static_context
+
+    config = config or LintConfig()
+    ctx = build_static_context(workflow, contracts)
+    findings = run_contract_rules(ctx, config)
+    findings.sort(key=Finding.sort_key)
+    return LintReport(findings=findings,
+                      tasks=sorted(t.name for t in workflow.all_tasks()))
+
+
+def run_drift_rules(summary, contract, config: LintConfig) -> List[Finding]:
+    """Evaluate every enabled ``drift``-scoped (DY45x) rule for one task.
+
+    ``summary`` is the task's traced
+    :class:`~repro.lint.context.ProfileSummary`; ``contract`` its
+    effective :class:`~repro.workflow.contracts.TaskContract` (or None).
+    Per-task and picklable — the unit the parallel analyzer shards.
+    """
+    findings: List[Finding] = []
+    for r in config.enabled_rules(scope="drift"):
+        findings.extend(r.check(summary, contract, config))
+    return findings
+
+
+def diff_profiles(profiles: Sequence[TaskProfile], contracts,
+                  config: Optional[LintConfig] = None,
+                  summaries=None) -> LintReport:
+    """Join traced profiles against contracts: the drift check (serial).
+
+    ``contracts`` maps task name to its effective contract (see
+    :meth:`~repro.lint.static.WorkflowContracts.effective`).
+    ``summaries`` may carry pre-computed digests from parallel workers.
+    """
+    config = config or LintConfig()
+    if summaries is None:
+        summaries = [summarize_profile(p, config.page_size)
+                     for p in profiles]
+    findings: List[Finding] = []
+    for summary in summaries:
+        findings.extend(
+            run_drift_rules(summary, contracts.get(summary.task), config))
+    findings.sort(key=Finding.sort_key)
+    return LintReport(findings=findings,
+                      tasks=sorted(s.task for s in summaries))
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """The lint rule registry: stable codes, severities, enablement.
 
-Three rule families, one code block each (codes are stable API — never
+Five rule families, one code block each (codes are stable API — never
 reused for a different meaning once shipped):
 
 - **DY1xx — semantic anti-patterns**: dataflow shapes that are legal but
@@ -13,13 +13,23 @@ reused for a different meaning once shipped):
   profile data itself is inconsistent (VOL and VFD byte accounting
   disagree, extents are malformed, timestamps escape their task window)
   and downstream analysis cannot be trusted.
+- **DY40x — pre-run contract rules**: evaluated over the workflow
+  *definition* alone (declared + AST-inferred access contracts), before
+  any trace exists.
+- **DY45x — contract drift**: the differential join of contracts
+  against observed traces (undeclared accesses, declared-but-never-
+  performed I/O).
 
 Rules register themselves via :func:`rule`; importing
-:mod:`repro.lint.semantic`, :mod:`repro.lint.hazards` and
-:mod:`repro.lint.integrity` populates the registry (package ``__init__``
+:mod:`repro.lint.semantic`, :mod:`repro.lint.hazards`,
+:mod:`repro.lint.integrity`, :mod:`repro.lint.prerun` and
+:mod:`repro.lint.drift` populates the registry (package ``__init__``
 does this).  Each rule is ``profile``-scoped (evaluated per task profile,
-shardable across worker processes) or ``workflow``-scoped (evaluated once
-over the cross-task :class:`~repro.lint.context.WorkflowIndex`).
+shardable across worker processes), ``workflow``-scoped (evaluated once
+over the cross-task :class:`~repro.lint.context.WorkflowIndex`),
+``contract``-scoped (evaluated once over the pre-run
+:class:`~repro.lint.predict.StaticContext`), or ``drift``-scoped
+(evaluated per task against its contract + traced summary, shardable).
 """
 
 from __future__ import annotations
@@ -40,8 +50,10 @@ class LintRule:
         code: Stable ``DYnnn`` identifier.
         name: Short kebab-case name (shown next to the code).
         severity: Default severity of its findings.
-        scope: ``"profile"`` (per-task, shardable) or ``"workflow"``
-            (cross-task, needs the full index).
+        scope: ``"profile"`` (per-task, shardable), ``"workflow"``
+            (cross-task, needs the full index), ``"contract"`` (pre-run,
+            over the static context), or ``"drift"`` (per-task contract
+            vs. trace join, shardable).
         description: One-line summary for ``--list-rules`` and SARIF.
         default_enabled: Whether the rule runs without explicit
             ``--enable``.  Opt-in rules overlap the optimization advisor's
@@ -67,7 +79,7 @@ _REGISTRY: Dict[str, LintRule] = {}
 def rule(code: str, name: str, severity: Severity, scope: str,
          description: str, default_enabled: bool = True):
     """Class-less registration decorator for rule check functions."""
-    if scope not in ("profile", "workflow"):
+    if scope not in ("profile", "workflow", "contract", "drift"):
         raise ValueError(f"bad rule scope {scope!r}")
 
     def register(fn: Callable) -> Callable:
@@ -108,9 +120,14 @@ class LintConfig:
     page_size: int = 4096
     #: DY103 thresholds: an object is a small-I/O amplifier when one task
     #: issues at least ``small_io_min_ops`` raw operations against it at
-    #: an average size of at most ``small_io_max_avg_bytes``.
+    #: an average size of at most ``small_io_max_avg_bytes``.  DY408
+    #: (loop-carried small writes in a *contract*) reuses the same
+    #: thresholds against predicted operation counts and sizes.
     small_io_min_ops: int = 128
     small_io_max_avg_bytes: int = 512
+    #: DY407 threshold: a task re-opening the same file at least this many
+    #: times is flagged as an open-in-loop anti-pattern.
+    open_loop_min_opens: int = 8
 
     def __post_init__(self) -> None:
         for sel in (*self.enable, *self.disable):
@@ -121,6 +138,8 @@ class LintConfig:
             raise ValueError("page_size must be positive")
         if self.small_io_min_ops < 1 or self.small_io_max_avg_bytes < 1:
             raise ValueError("small-I/O thresholds must be positive")
+        if self.open_loop_min_opens < 2:
+            raise ValueError("open_loop_min_opens must be >= 2")
 
     def is_enabled(self, r: LintRule) -> bool:
         if any(r.code.startswith(sel) for sel in self.disable):

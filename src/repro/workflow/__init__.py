@@ -9,9 +9,23 @@ carried through shared files.  This package provides:
   co-scheduling moves DaYu's analysis recommends;
 - :class:`~repro.workflow.runner.WorkflowRunner` — executes the workflow
   on a simulated cluster under DaYu profiling, modelling parallel-stage
-  wall-clock as the max of task durations with device contention applied.
+  wall-clock as the max of task durations with device contention applied;
+- :mod:`~repro.workflow.contracts` — ahead-of-time access contracts:
+  the datasets a task commits to reading/writing, declared at
+  construction or inferred from source by :mod:`repro.lint.static`.
 """
 
+from repro.workflow.contracts import (
+    ContractAccess,
+    ContractError,
+    TaskContract,
+    creates,
+    opens,
+    reads,
+    reconcile,
+    validate_contract,
+    writes,
+)
 from repro.workflow.model import Stage, Task, Workflow
 from repro.workflow.runner import StageResult, TaskRuntime, WorkflowResult, WorkflowRunner
 from repro.workflow.scheduler import CoLocateScheduler, PinnedScheduler, RoundRobinScheduler
@@ -27,4 +41,13 @@ __all__ = [
     "RoundRobinScheduler",
     "PinnedScheduler",
     "CoLocateScheduler",
+    "TaskContract",
+    "ContractAccess",
+    "ContractError",
+    "creates",
+    "reads",
+    "writes",
+    "opens",
+    "validate_contract",
+    "reconcile",
 ]

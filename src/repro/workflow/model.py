@@ -10,8 +10,11 @@ is an ordered list of stages.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+from repro.workflow.contracts import TaskContract, validate_contract
 
 __all__ = ["Task", "Stage", "Workflow"]
 
@@ -26,15 +29,23 @@ class Task:
         fn: The task body, called as ``fn(runtime)``.
         compute_seconds: Modeled compute time charged before the body's
             I/O completes (simulation of the non-I/O work).
+        contract: Optional declared access contract — the datasets this
+            task commits to reading/writing (see
+            :mod:`repro.workflow.contracts`).  Validated by
+            :meth:`Workflow.validate`; consumed by the static lint front
+            end and the contract-drift checker.
     """
 
     name: str
     fn: Callable[["TaskRuntime"], None]  # noqa: F821 - runner type
     compute_seconds: float = 0.0
+    contract: Optional[TaskContract] = None
 
     def __post_init__(self) -> None:
         if self.compute_seconds < 0:
             raise ValueError(f"task {self.name}: negative compute time")
+        if self.contract is not None and not self.contract.task:
+            self.contract.task = self.name
 
 
 @dataclass
@@ -65,12 +76,17 @@ class Workflow:
         return [t for s in self.stages for t in s.tasks]
 
     def validate(self) -> None:
-        """Check structural invariants (unique task names, non-empty)."""
-        names = [t.name for t in self.all_tasks()]
+        """Check structural invariants (unique task names, non-empty,
+        well-formed declared contracts)."""
+        tasks = self.all_tasks()
+        names = [t.name for t in tasks]
         if not names:
             raise ValueError(f"workflow {self.name!r} has no tasks")
-        dupes = {n for n in names if names.count(n) > 1}
+        dupes = {n for n, c in Counter(names).items() if c > 1}
         if dupes:
             raise ValueError(
                 f"workflow {self.name!r} has duplicate task names: {sorted(dupes)}"
             )
+        for t in tasks:
+            if t.contract is not None:
+                validate_contract(t.contract, t.name)

@@ -124,8 +124,22 @@ def _hazard_stage(p: CornerCaseParams) -> Stage:
         f["ghost"].read()
         f.close()
 
+    # Declared contracts: honest about the hazardous access pattern, so
+    # the DY40x pre-run rules fire from the declarations alone (and the
+    # DY409 declared-vs-inferred reconciliation stays silent).
+    from repro.workflow.contracts import TaskContract, creates, reads
+
     return Stage("hazards", [
-        Task("hazard_writer_a", writer_a),
-        Task("hazard_writer_b", writer_b),
-        Task("hazard_phantom_reader", phantom_reader),
+        Task("hazard_writer_a", writer_a, contract=TaskContract.declare(
+            creates(p.hazard_file, "dup", shape=(n,), dtype="f4",
+                    elements=n))),
+        Task("hazard_writer_b", writer_b, contract=TaskContract.declare(
+            creates(p.hazard_file, "dup", shape=(n,), dtype="f4",
+                    elements=n),
+            creates(p.hazard_file, "ghost", shape=(n,), dtype="f4",
+                    elements=0))),
+        Task("hazard_phantom_reader", phantom_reader,
+             contract=TaskContract.declare(
+                 reads(p.hazard_file, "dup", elements=n),
+                 reads(p.hazard_file, "ghost", elements=n))),
     ], parallel=False)

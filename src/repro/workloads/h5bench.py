@@ -130,10 +130,33 @@ def build_h5bench_write(params: H5benchParams) -> Workflow:
             f.close()
         return fn
 
+    # Declared contracts carry each process's hyperslab selection, which
+    # is what lets the pre-run DY401 rule prove the collective writes
+    # disjoint and downgrade the unordered-writer error to a warning.
+    from repro.workflow.contracts import TaskContract, creates, writes
+
+    def setup_contract() -> TaskContract:
+        return TaskContract.declare(*[
+            creates(p.shared_path, f"step_{step:05d}", shape=(total_elems,),
+                    dtype="f4", elements=0)
+            for step in range(p.ops_per_proc)
+        ])
+
+    def slab_contract(proc: int) -> TaskContract:
+        start = proc * p.elems_per_op
+        return TaskContract.declare(*[
+            writes(p.shared_path, f"step_{step:05d}",
+                   elements=p.elems_per_op,
+                   select=((start, p.elems_per_op),))
+            for step in range(p.ops_per_proc)
+        ])
+
     return Workflow("h5bench_write_shared", [
-        Stage("setup", [Task("h5bench_setup", setup)], parallel=False),
+        Stage("setup", [Task("h5bench_setup", setup,
+                             contract=setup_contract())], parallel=False),
         Stage("write", [
-            Task(f"h5bench_write_{i:04d}", slab_writer(i))
+            Task(f"h5bench_write_{i:04d}", slab_writer(i),
+                 contract=slab_contract(i))
             for i in range(p.n_procs)
         ]),
     ])

@@ -1,0 +1,95 @@
+"""The bundled-workload registry: name → (workflow, input preparer).
+
+Every CLI that takes a workload by name — ``dayu-run``, the
+``dayu-lint --static``/``--diff`` modes, CI smoke jobs — resolves it
+here, so the set of bundled case studies and their default scales live
+in exactly one place.  Data directories default to ``/beegfs/...``
+because that is the shared mount :func:`~repro.experiments.common
+.fresh_env` provisions.
+
+:func:`build_workload` returns ``(workflow, prepare)`` where ``prepare``
+is either ``None`` or a callable taking the simulated cluster that
+stages the workload's external input files.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.workflow.model import Workflow
+
+__all__ = ["WORKLOADS", "build_workload"]
+
+WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "h5bench-shared",
+             "climate", "corner", "corner-hazards")
+
+Prepare = Optional[Callable]
+
+
+def build_workload(name: str, scale: float = 1.0) -> Tuple[Workflow, Prepare]:
+    """Instantiate a bundled workload (and its input preparer) at a scale."""
+    if name == "pyflextrkr":
+        from repro.workloads.pyflextrkr import (
+            PyflextrkrParams, build_pyflextrkr, prepare_pyflextrkr_inputs)
+
+        params = PyflextrkrParams(
+            data_dir="/beegfs/flex",
+            n_files=max(int(8 * scale), 2),
+            grid=max(int(4096 * scale), 64),
+            n_parallel=max(int(4 * scale), 1),
+        )
+        return build_pyflextrkr(params), (
+            lambda cluster: prepare_pyflextrkr_inputs(cluster, params))
+    if name == "ddmd":
+        from repro.workloads.ddmd import DdmdParams, build_ddmd
+
+        params = DdmdParams(
+            data_dir="/beegfs/ddmd",
+            n_sim_tasks=max(int(12 * scale), 2),
+            frames=max(int(512 * scale), 16),
+            chunk_elems=max(int(512 * scale), 16),
+        )
+        return build_ddmd(params), None
+    if name == "arldm":
+        from repro.workloads.arldm import ArldmParams, build_arldm
+
+        params = ArldmParams(
+            data_dir="/beegfs/arldm",
+            items=max(int(20 * scale), 4),
+            avg_image_bytes=max(int(8192 * scale), 256),
+        )
+        return build_arldm(params), None
+    if name in ("h5bench", "h5bench-shared"):
+        from repro.workloads.h5bench import H5benchParams, build_h5bench_write
+
+        params = H5benchParams(
+            data_dir="/beegfs/h5bench",
+            n_procs=max(int(4 * scale), 1),
+            bytes_per_proc=max(int((1 << 21) * scale), 1 << 12),
+            shared_file=(name == "h5bench-shared"),
+        )
+        return build_h5bench_write(params), None
+    if name == "climate":
+        from repro.workloads.climate import ClimateParams, build_climate
+
+        params = ClimateParams(
+            data_dir="/beegfs/climate",
+            n_models=max(int(4 * scale), 2),
+            timesteps=max(int(8 * scale), 2),
+            cells=max(int(256 * scale), 16),
+        )
+        return build_climate(params), None
+    if name in ("corner", "corner-hazards"):
+        from repro.workloads.corner_case import CornerCaseParams, build_corner_case
+
+        params = CornerCaseParams(
+            data_dir="/beegfs/corner",
+            n_datasets=200,
+            file_bytes=max(int((10 << 20) * scale), 200 * 4),
+            read_repeats=10,
+            # The hazard variant appends intentionally racy tasks — the
+            # dayu-lint ground-truth fixture (see repro.lint).
+            seed_hazards=(name == "corner-hazards"),
+        )
+        return build_corner_case(params), None
+    raise SystemExit(f"unknown workload {name!r}; choose from {WORKLOADS}")

@@ -1,0 +1,239 @@
+"""Tests for ``repro.workflow.contracts`` and the AST contract extractor.
+
+The load-bearing property: for every bundled workload, the extractor's
+*exact* inferred accesses must be a subset of the datasets the task
+actually touched in its traces — the static front end never hallucinates
+dataflow.  The model tests pin the contract algebra the DY40x/DY45x
+rules are built on.
+"""
+
+import pytest
+
+from repro.experiments.common import fresh_env
+from repro.lint import extract_workflow_contracts, infer_contract
+from repro.mapper.stats import FILE_METADATA_OBJECT
+from repro.workflow import Stage, Task, Workflow
+from repro.workflow.contracts import (
+    ContractAccess,
+    ContractError,
+    TaskContract,
+    creates,
+    dtype_itemsize,
+    normalize_dataset,
+    opens,
+    reads,
+    reconcile,
+    validate_contract,
+    writes,
+)
+from repro.workloads.registry import WORKLOADS, build_workload
+
+
+# ----------------------------------------------------------------------
+# Contract model
+# ----------------------------------------------------------------------
+class TestContractModel:
+    def test_dataset_names_are_root_anchored(self):
+        assert normalize_dataset("dup") == "/dup"
+        assert normalize_dataset("/dup") == "/dup"
+        assert reads("/f.h5", "x").dataset == "/x"
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ContractError):
+            ContractAccess(op="append", file="/f.h5", dataset="/x")
+
+    def test_negative_count_and_elements_rejected(self):
+        with pytest.raises(ContractError):
+            ContractAccess(op="read", file="/f.h5", dataset="/x", count=-1)
+        with pytest.raises(ContractError):
+            ContractAccess(op="read", file="/f.h5", dataset="/x",
+                           elements=-1)
+
+    def test_moves_data_semantics(self):
+        assert reads("/f.h5", "x").moves_data
+        assert writes("/f.h5", "x").moves_data
+        assert not opens("/f.h5", "x").moves_data
+        # create: 0 = explicitly dataless, None = unknown (conservative),
+        # >0 = initial data written at creation.
+        assert not creates("/f.h5", "x", shape=(8,), elements=0).moves_data
+        assert creates("/f.h5", "x", shape=(8,)).moves_data
+        assert creates("/f.h5", "x", shape=(8,), elements=8).moves_data
+
+    def test_extent_elements_and_select_range(self):
+        a = creates("/f.h5", "x", shape=(4, 8), dtype="f4")
+        assert a.extent_elements == 32
+        w = writes("/f.h5", "x", elements=8, select=((16, 8),))
+        assert w.select_range == (16, 24)
+        assert writes("/f.h5", "x").select_range is None
+
+    def test_dtype_itemsize(self):
+        assert dtype_itemsize("f8") == 8
+        assert dtype_itemsize("i4") == 4
+        assert dtype_itemsize("") is None
+
+    def test_views(self):
+        c = TaskContract.declare(
+            creates("/f.h5", "x", shape=(8,), elements=0),
+            writes("/f.h5", "x", elements=8),
+            reads("/g.h5", "y", elements=4),
+        )
+        assert c.datasets() == [("/f.h5", "/x"), ("/g.h5", "/y")]
+        assert c.ops_for("/f.h5", "/x") == ["create", "write"]
+        assert [a.key for a in c.data_writes()] == [("/f.h5", "/x")]
+        assert [a.key for a in c.data_reads()] == [("/g.h5", "/y")]
+        assert c.files() == ["/f.h5", "/g.h5"]
+
+    def test_task_attaches_and_names_contract(self):
+        c = TaskContract.declare(reads("/f.h5", "x"))
+        t = Task("t0", lambda rt: None, contract=c)
+        assert t.contract.task == "t0"
+
+    def test_workflow_validate_rejects_bad_contract(self):
+        bad = TaskContract.declare(
+            creates("/f.h5", "x", shape=(4,), dtype="f4", elements=0),
+            writes("/f.h5", "x", elements=9),  # exceeds the extent
+        )
+        wf = Workflow("w", [Stage("s", [Task("t0", lambda rt: None,
+                                             contract=bad)])])
+        with pytest.raises(ContractError):
+            wf.validate()
+
+    def test_validate_contract_conflicting_dtypes(self):
+        c = TaskContract.declare(
+            creates("/f.h5", "x", shape=(4,), dtype="f4"),
+            creates("/f.h5", "x", shape=(4,), dtype="i8"),
+        )
+        with pytest.raises(ContractError):
+            validate_contract(c, "t0")
+
+    def test_validate_contract_task_name_mismatch(self):
+        c = TaskContract.declare(reads("/f.h5", "x"))
+        c.task = "other"
+        with pytest.raises(ContractError):
+            validate_contract(c, "t0")
+
+    def test_json_round_trippable_dict(self):
+        c = TaskContract.declare(
+            writes("/f.h5", "x", elements=8, select=((0, 8),)))
+        d = c.to_json_dict()
+        assert d["source"] == "declared"
+        assert d["accesses"][0]["select"] == [[0, 8]]
+
+
+class TestReconcile:
+    def _declared(self, *accesses):
+        return TaskContract.declare(*accesses, task="t0")
+
+    def _inferred(self, *accesses, exact=True):
+        return TaskContract(task="t0", accesses=list(accesses),
+                            source="inferred", exact=exact)
+
+    def test_agreement_is_silent(self):
+        d = self._declared(creates("/f.h5", "x", shape=(8,), elements=8))
+        i = self._inferred(creates("/f.h5", "x", shape=(8,), elements=8))
+        assert reconcile(d, i) == []
+
+    def test_undeclared_access_reported(self):
+        d = self._declared(reads("/f.h5", "x"))
+        i = self._inferred(reads("/f.h5", "x"), writes("/f.h5", "y"))
+        out = reconcile(d, i)
+        assert any("undeclared write" in s and "/y" in s for s in out)
+
+    def test_unperformed_declaration_reported_only_when_exact(self):
+        d = self._declared(reads("/f.h5", "x"), writes("/f.h5", "y"))
+        i_exact = self._inferred(reads("/f.h5", "x"))
+        assert any("never performs" in s
+                   for s in reconcile(d, i_exact))
+        # An inexact inferred contract may simply have missed the write.
+        i_fuzzy = self._inferred(reads("/f.h5", "x"), exact=False)
+        assert reconcile(d, i_fuzzy) == []
+
+
+# ----------------------------------------------------------------------
+# Extractor vs. ground truth: every bundled workload
+# ----------------------------------------------------------------------
+def _run(name, scale=0.5):
+    env = fresh_env(n_nodes=2)
+    workflow, prepare = build_workload(name, scale)
+    if prepare is not None:
+        prepare(env.cluster)
+    env.runner.run(workflow)
+    return workflow, env
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def traced_workload(request):
+    return request.param, *_run(request.param)
+
+
+class TestExtractorAgainstTraces:
+    def test_inferred_subset_of_traced(self, traced_workload):
+        """Exact inferred accesses name only datasets the run touched."""
+        name, workflow, env = traced_workload
+        contracts = extract_workflow_contracts(workflow)
+        for task_name, contract in contracts.inferred.items():
+            profile = env.mapper.profiles.get(task_name)
+            assert profile is not None, f"{name}: no trace for {task_name}"
+            traced = {(s.file, s.data_object)
+                      for s in profile.dataset_stats}
+            traced |= {(f, FILE_METADATA_OBJECT) for f, _ in traced}
+            for a in contract.accesses:
+                if a.conditional or not a.exact:
+                    continue
+                assert a.key in traced, (
+                    f"{name}/{task_name}: inferred {a.op} of {a.dataset} "
+                    f"in {a.file} never appears in the trace")
+
+    def test_every_task_gets_a_contract(self, traced_workload):
+        name, workflow, env = traced_workload
+        contracts = extract_workflow_contracts(workflow)
+        for t in workflow.all_tasks():
+            assert t.name in contracts.inferred
+
+    def test_declared_contracts_survive_extraction(self, traced_workload):
+        name, workflow, env = traced_workload
+        contracts = extract_workflow_contracts(workflow)
+        declared_tasks = {t.name for t in workflow.all_tasks()
+                          if t.contract is not None}
+        assert set(contracts.declared) == declared_tasks
+        for task_name in declared_tasks:
+            assert contracts.effective()[task_name].source == "declared"
+
+
+class TestExtractorDetails:
+    def test_hazard_fixture_contract_shape(self):
+        workflow, _ = build_workload("corner-hazards", 0.5)
+        by_name = {t.name: t for t in workflow.all_tasks()}
+        c = infer_contract(by_name["hazard_writer_b"])
+        assert c.exact
+        ops = {(a.dataset, a.op): a for a in c.accesses}
+        assert ops[("/dup", "create")].moves_data
+        assert ops[("/ghost", "create")].elements == 0  # dataless
+
+    def test_shared_slab_selections_resolved(self):
+        workflow, _ = build_workload("h5bench-shared", 0.5)
+        by_name = {t.name: t for t in workflow.all_tasks()}
+        c = infer_contract(by_name["h5bench_write_0001"])
+        selects = {a.select for a in c.accesses if a.op == "write"}
+        assert selects and all(s is not None for s in selects)
+
+    def test_unresolvable_code_degrades_to_inexact(self):
+        import os
+
+        def fn(rt):
+            f = rt.open("/beegfs/x.h5", "r")
+            for _ in range(int(os.environ.get("N", "3"))):  # opaque bound
+                f["/x"].read()
+            f.close()
+
+        c = infer_contract(Task("t0", fn))
+        assert not c.exact and c.notes
+        assert all(a.conditional for a in c.accesses if a.op == "read")
+
+    def test_non_function_body_yields_empty_inexact(self):
+        class Body:
+            def __call__(self, rt):  # pragma: no cover - never run
+                pass
+
+        c = infer_contract(Task("t0", Body()))
+        assert not c.exact and not c.accesses
