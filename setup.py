@@ -1,2 +1,14 @@
+"""Legacy-install shim.
+
+``pyproject.toml`` is the single source of truth for metadata and the
+console scripts (``dayu-run``, ``dayu-analyze``, ``dayu-lint``,
+``dayu-monitor``).  setuptools>=64 reads ``[project.scripts]`` from there
+for both ``pip install .`` and ``python setup.py``-style installs, so no
+entry points are redeclared here — redeclaring them risks the two install
+paths drifting apart.  ``tests/test_monitor.py`` asserts the expected
+CLI set is present in ``pyproject.toml``.
+"""
+
 from setuptools import setup
+
 setup()

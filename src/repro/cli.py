@@ -50,15 +50,27 @@ def run_main(argv: List[str] | None = None) -> int:
                         default="json",
                         help="saved profile format: JSON interchange or the "
                              "compact binary codec (default json)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="attach the live monitor (streaming lint "
+                             "alerts print as they fire; see dayu-monitor "
+                             "for the full live toolset)")
     args = parser.parse_args(argv)
 
-    env = fresh_env(n_nodes=args.nodes)
+    if args.monitor:
+        from repro.monitor.cli import _print_alert
+
+        env = fresh_env(n_nodes=args.nodes, monitor=True,
+                        on_alert=_print_alert)
+    else:
+        env = fresh_env(n_nodes=args.nodes)
     workflow, prepare = _build_workload(args.workload, args.scale)
     if prepare is not None:
         prepare(env.cluster)
     print(f"Running {args.workload} "
           f"({len(workflow.all_tasks())} tasks on {args.nodes} node(s))...")
     result = env.runner.run(workflow)
+    if env.monitor is not None:
+        env.monitor.finish()
     print(f"  makespan: {result.wall_time:.3f} simulated seconds")
     written = env.mapper.save_to_host_dir(args.out,
                                           trace_format=args.trace_format)

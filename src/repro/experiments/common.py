@@ -24,19 +24,34 @@ class Env:
     cluster: Cluster
     mapper: DataSemanticMapper
     runner: WorkflowRunner
+    #: The attached :class:`repro.monitor.monitor.WorkflowMonitor`, if any.
+    monitor: Optional[object] = None
 
 
 def fresh_env(
     n_nodes: int = 2,
     scheduler: Optional[Scheduler] = None,
     config: Optional[DaYuConfig] = None,
+    monitor_config: Optional[object] = None,
+    monitor: bool = False,
+    on_alert=None,
 ) -> Env:
-    """A fresh GPU-cluster environment (BeeGFS shared + node-local SSD)."""
+    """A fresh GPU-cluster environment (BeeGFS shared + node-local SSD).
+
+    Pass ``monitor=True`` (or a ``monitor_config``) to attach a live
+    :class:`~repro.monitor.monitor.WorkflowMonitor` to the mapper.
+    """
     clock = SimClock()
     cluster = gpu_cluster(clock, n_nodes=n_nodes)
-    mapper = DataSemanticMapper(clock, config or DaYuConfig())
+    mon = None
+    if monitor or monitor_config is not None:
+        from repro.monitor.monitor import WorkflowMonitor
+
+        mon = WorkflowMonitor(clock, config=monitor_config, on_alert=on_alert)
+    mapper = DataSemanticMapper(clock, config or DaYuConfig(), monitor=mon)
     runner = WorkflowRunner(cluster, mapper, scheduler)
-    return Env(clock=clock, cluster=cluster, mapper=mapper, runner=runner)
+    return Env(clock=clock, cluster=cluster, mapper=mapper, runner=runner,
+               monitor=mon)
 
 
 @dataclass

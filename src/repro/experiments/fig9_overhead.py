@@ -48,6 +48,9 @@ def _h5bench_overhead(n_procs: int, total_bytes: int) -> dict:
         trace_storage_bytes=env.mapper.storage_bytes,
         data_volume_bytes=env.mapper.data_volume(),
     )
+    # Figure 9 isolates pure tracing overhead: with no monitor attached,
+    # the live-monitoring account must not have accrued a single tick.
+    assert report.monitor == 0.0, "unmonitored run charged monitor time"
     return {
         "vfd_percent": report.vfd_percent,
         "vol_percent": report.vol_percent,
@@ -105,6 +108,7 @@ def _corner_case(read_repeats: int, file_bytes: int) -> tuple:
         trace_storage_bytes=env.mapper.storage_bytes,
         data_volume_bytes=file_bytes,  # the program's required storage
     )
+    assert report.monitor == 0.0, "unmonitored run charged monitor time"
     return params, profile, report
 
 

@@ -1,0 +1,228 @@
+"""Live-monitor overhead (real wall clock).
+
+The monitor rides the tracers' event stream, so its cost is the one DaYu
+number that is *not* simulated: every published event runs subscriber
+code in-process.  Two measurements:
+
+- **Throughput** — raw events/second through a fully-subscribed
+  :class:`~repro.monitor.monitor.WorkflowMonitor` (aggregator +
+  streaming lint + metrics).
+- **Workflow overhead** — a ~1k-SDG-node synthetic workflow with the
+  full monitor attached.  The acceptance number is directly attributed
+  (seconds inside monitor code vs. the rest of the same run); the
+  monitored-vs-unmonitored wall-time difference is reported alongside as
+  corroboration.  Bar: <=10% added wall time, with the live snapshot
+  still byte-identical to the post-hoc graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+import numpy as np
+
+from repro.analyzer.graphs import build_ftg, build_sdg
+from repro.analyzer.serialize import graph_to_json
+from repro.experiments.common import Env, ResultTable, fresh_env
+from repro.simclock import SimClock
+from repro.vfd.base import IoClass
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = [
+    "build_monitor_bench_workflow",
+    "run_monitor_throughput",
+    "run_monitor_overhead",
+    "run_ddmd_dynamics",
+]
+
+#: 60 writer tasks x (1 file + 15 datasets + File-Metadata) ~= 1020 SDG
+#: nodes — the paper's "1k-node graph" scale, but *runnable* (the
+#: synthetic profiles in :mod:`repro.experiments.analyzer_scale` are
+#: offline-only and never pass through the tracers).
+N_TASKS = 60
+DATASETS_PER_TASK = 15
+#: 512 KiB per dataset: realistic-volume writes, so baseline per-op work
+#: (data generation + copy + simulated transfer) is representative.  At
+#: toy sizes the ~10 us/event monitor cost would dominate a baseline
+#: that does almost nothing per event.
+ELEMS_PER_DATASET = 131_072
+
+
+def build_monitor_bench_workflow(n_tasks: int = N_TASKS,
+                                 datasets_per_task: int = DATASETS_PER_TASK,
+                                 ) -> Workflow:
+    def writer(proc: int):
+        def fn(rt: TaskRuntime) -> None:
+            rng = np.random.default_rng(proc)
+            f = rt.open(f"/beegfs/monbench/part_{proc:04d}.h5", "w")
+            for d in range(datasets_per_task):
+                f.create_dataset(
+                    f"d_{d:03d}", shape=(ELEMS_PER_DATASET,), dtype="f4",
+                    data=rng.random(ELEMS_PER_DATASET, dtype=np.float32),
+                )
+            f.close()
+        return fn
+
+    return Workflow("monitor_bench", [
+        Stage("write", [
+            Task(f"monbench_{i:04d}", writer(i)) for i in range(n_tasks)
+        ])
+    ])
+
+
+def run_monitor_throughput(n_events: int = 20_000) -> dict:
+    """Events/second through a fully-subscribed monitor."""
+    from repro.monitor import VfdOp, WorkflowMonitor
+
+    monitor = WorkflowMonitor(SimClock())
+    events = [
+        VfdOp(time=float(i) * 1e-3, task="bench", file="/beegfs/bench.h5",
+              op="write", offset=i * 64, nbytes=64, start=float(i) * 1e-3,
+              duration=1e-4, io_class=IoClass.RAW, data_object="/d",
+              recorded=True)
+        for i in range(n_events)
+    ]
+    t0 = time.perf_counter()
+    for event in events:
+        monitor.publish(event)
+    monitor.finish()
+    wall = time.perf_counter() - t0
+    assert monitor.reconciles()
+    return {
+        "events": n_events,
+        "wall_seconds": wall,
+        "events_per_second": n_events / wall if wall else float("inf"),
+    }
+
+
+def _timed_run(monitored: bool) -> Tuple[Env, float, float]:
+    """One run; returns (env, wall seconds, seconds inside monitor code).
+
+    Monitor time is attributed directly by timing every
+    :meth:`~repro.monitor.monitor.WorkflowMonitor.publish` call (the
+    tracers/runner enter all monitor work through it) plus the final
+    ``finish()`` drain.  The two extra ``perf_counter`` calls per event
+    cost ~0.1 us against a ~10 us publish; event construction at the
+    emit sites (~1 us) stays on the application side of the boundary.
+    """
+    env = fresh_env(monitor=monitored)
+    workflow = build_monitor_bench_workflow()
+    in_monitor = 0.0
+    if monitored:
+        real_publish = env.monitor.publish
+
+        def timed_publish(event):
+            nonlocal in_monitor
+            t = time.perf_counter()
+            real_publish(event)
+            in_monitor += time.perf_counter() - t
+
+        env.monitor.publish = timed_publish  # type: ignore[method-assign]
+    t0 = time.perf_counter()
+    env.runner.run(workflow)
+    if env.monitor is not None:
+        t = time.perf_counter()
+        env.monitor.finish()
+        in_monitor += time.perf_counter() - t
+    return env, time.perf_counter() - t0, in_monitor
+
+
+def run_monitor_overhead(rounds: int = 2) -> dict:
+    """Monitor cost on the ~1k-node workflow.
+
+    The acceptance number (``overhead_percent``) is *directly
+    attributed*: seconds inside monitor code vs. the rest of the same
+    monitored run.  Differencing monitored against unmonitored wall time
+    is also reported (best-of-``rounds``, interleaved) but only as
+    corroboration — on a busy CI box, identical runs vary by more than
+    the effect being measured, so a gate on the difference would flake.
+    """
+    _timed_run(True)  # warm one-time imports out of the timed region
+    base_wall = float("inf")
+    mon_wall = float("inf")
+    overhead = float("inf")
+    env = None
+    for _ in range(rounds):
+        base_wall = min(base_wall, _timed_run(False)[1])
+        mon_env, wall, in_monitor = _timed_run(True)
+        mon_wall = min(mon_wall, wall)
+        attributed = in_monitor / (wall - in_monitor)
+        if attributed < overhead:
+            env, overhead = mon_env, attributed
+
+    profiles = list(env.mapper.profiles.values())
+    ftg_live = graph_to_json(env.monitor.snapshot_ftg())
+    sdg_live = graph_to_json(env.monitor.snapshot_sdg())
+    sdg = env.monitor.snapshot_sdg()
+    identical = (ftg_live == graph_to_json(build_ftg(profiles))
+                 and sdg_live == graph_to_json(build_sdg(profiles)))
+    return {
+        "tasks": len(profiles),
+        "sdg_nodes": sdg.number_of_nodes(),
+        "sdg_edges": sdg.number_of_edges(),
+        "events_published": env.monitor.bus.total_published,
+        "baseline_seconds": base_wall,
+        "monitored_seconds": mon_wall,
+        "overhead_percent": 100.0 * overhead,
+        "identical_graphs": identical,
+        "reconciles": env.monitor.reconciles(),
+        "monitor_account_seconds": env.clock.account(
+            "dayu.monitor.subscriber"),
+    }
+
+
+MIB = 1 << 20
+
+
+def run_ddmd_dynamics(scale: float = 0.2, window_seconds: float = 0.5,
+                      top: int = 8) -> ResultTable:
+    """Windowed I/O dynamics of a monitored DDMD run.
+
+    What the post-hoc profiles cannot show: *when* each dataset's bytes
+    moved.  The live monitor's sliding windows resolve the per-(task,
+    dataset) byte flow over simulated time; the busiest keys make the
+    workflow's phase structure (simulate -> aggregate -> train -> infer)
+    directly readable off the intervals.
+    """
+    from repro.monitor import MonitorConfig
+    from repro.workloads.registry import build_workload
+
+    env = fresh_env(monitor_config=MonitorConfig(
+        window_seconds=window_seconds))
+    workflow, prepare = build_workload("ddmd", scale)
+    if prepare is not None:
+        prepare(env.cluster)
+    env.runner.run(workflow)
+    env.monitor.finish()
+    dyn = env.monitor.dynamics
+
+    ranked = []
+    for key in dyn.keys():
+        series = dyn.series_for(*key)
+        if not series:
+            continue
+        totals = dyn.totals_for(*key)
+        peak = max(s.bytes for _, s in series)
+        ranked.append((totals.bytes, key, series, peak))
+    ranked.sort(key=lambda r: (-r[0], r[1]))
+
+    table = ResultTable(
+        title="DDMD windowed I/O dynamics (live monitor, busiest datasets)",
+        columns=["task", "file", "dataset", "windows", "first_s", "last_s",
+                 "total_mib", "peak_window_mib"],
+        notes=[f"{window_seconds:.1f} s windows over simulated time; "
+               f"scale {scale}; top {top} of {len(ranked)} "
+               "(task, file, dataset) keys by total bytes.  Produced by "
+               "the repro.monitor live aggregator, not post-hoc analysis."],
+    )
+    for total, (task, file, obj), series, peak in ranked[:top]:
+        table.add(
+            task=task, file=file.rsplit("/", 1)[-1], dataset=obj,
+            windows=len(series),
+            first_s=series[0][0] * window_seconds,
+            last_s=(series[-1][0] + 1) * window_seconds,
+            total_mib=total / MIB, peak_window_mib=peak / MIB,
+        )
+    return table

@@ -106,13 +106,16 @@ class TaskContext:
         self.channel = VolVfdChannel()
         self.channel.set_task(task)
         config = mapper.config
-        self.vol = VolTracer(mapper.clock, self.channel, costs=config.vol_costs)
+        emit = mapper.monitor.publish if mapper.monitor is not None else None
+        self.vol = VolTracer(mapper.clock, self.channel,
+                             costs=config.vol_costs, emit=emit)
         self.vfd = VfdTracer(
             mapper.clock,
             self.channel,
             trace_io=config.trace_io,
             skip_ops=config.skip_ops,
             costs=config.vfd_costs,
+            emit=emit,
         )
         self._open_files: List[VolFile] = []
 
@@ -153,10 +156,14 @@ class DataSemanticMapper:
         profile = mapper.profiles["stage1"]
     """
 
-    def __init__(self, clock: SimClock, config: DaYuConfig | None = None) -> None:
+    def __init__(self, clock: SimClock, config: DaYuConfig | None = None,
+                 monitor=None) -> None:
         self.clock = clock
         self.config = config or DaYuConfig()
         self.profiles: Dict[str, TaskProfile] = {}
+        #: Optional :class:`repro.monitor.monitor.WorkflowMonitor`; when
+        #: attached, the mapper and its tracers publish live events to it.
+        self.monitor = monitor
 
     @contextmanager
     def task(self, name: str) -> Iterator[TaskContext]:
@@ -165,11 +172,21 @@ class DataSemanticMapper:
             raise ValueError(f"task {name!r} already profiled by this mapper")
         ctx = TaskContext(self, name)
         start = self.clock.now
+        if self.monitor is not None:
+            from repro.monitor.events import TaskStarted
+
+            self.monitor.publish(TaskStarted(time=start, task=name))
         try:
             yield ctx
         finally:
             ctx.close_all()
-            self.profiles[name] = self._finish(ctx, start)
+            profile = self._finish(ctx, start)
+            self.profiles[name] = profile
+            if self.monitor is not None:
+                from repro.monitor.events import TaskFinished
+
+                self.monitor.publish(TaskFinished(
+                    time=self.clock.now, task=name, profile=profile))
 
     def _finish(self, ctx: TaskContext, start: float) -> TaskProfile:
         # Characteristic Mapper join: group VFD records by data object.

@@ -1,0 +1,259 @@
+"""The online aggregator: live graphs plus windowed dataflow dynamics.
+
+Two views are maintained from the same event stream:
+
+1. **Live FTG/SDG** — every :class:`~repro.monitor.events.TaskFinished`
+   event carries the finished profile, which feeds the same incremental
+   :class:`~repro.analyzer.graphs.GraphBuilder` the offline analyzer
+   uses, in completion order.  A snapshot is available at any sim-clock
+   instant, and the end-of-run snapshot serializes byte-identical to a
+   post-hoc serial build over the saved profiles (task-finish events are
+   critical — the bus never drops them — so this holds under every
+   backpressure policy).
+
+2. **Windowed dynamics** — the paper's temporal axis, which no post-hoc
+   module produces: per-interval bytes / ops / latency series keyed by
+   ``(task, file, dataset)``, folded from per-operation
+   :class:`~repro.monitor.events.VfdOp` events.  State is one small
+   accumulator per touched ``(key, interval)`` pair; with
+   ``max_windows_per_key`` set, the oldest intervals of a key collapse
+   into a per-key overflow row so memory stays bounded on arbitrarily
+   long runs (evictions are counted, totals still reconcile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.analyzer.graphs import GraphBuilder
+from repro.mapper.stats import FILE_METADATA_OBJECT
+from repro.monitor.events import MonitorEvent, TaskFinished, VfdOp
+
+__all__ = ["WindowStats", "DynamicsWindows", "LiveAggregator"]
+
+#: A dynamics key: (task, file, data_object).
+Key = Tuple[str, str, str]
+
+
+@dataclass
+class WindowStats:
+    """Accumulated I/O inside one interval for one (task, dataset)."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    io_time: float = 0.0
+
+    @property
+    def ops(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def mean_latency(self) -> float:
+        return self.io_time / self.ops if self.ops else 0.0
+
+    def observe(self, op: str, nbytes: int, duration: float) -> None:
+        if op == "read":
+            self.reads += 1
+            self.read_bytes += nbytes
+        else:
+            self.writes += 1
+            self.write_bytes += nbytes
+        self.io_time += duration
+
+    def merge(self, other: "WindowStats") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.read_bytes += other.read_bytes
+        self.write_bytes += other.write_bytes
+        self.io_time += other.io_time
+
+    def to_json_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "io_time": self.io_time,
+            "mean_latency": self.mean_latency,
+        }
+
+
+@dataclass
+class _KeySeries:
+    """Interval accumulators for one (task, file, dataset) key."""
+
+    windows: Dict[int, WindowStats] = field(default_factory=dict)
+    #: Intervals folded out by the memory bound, merged into one row.
+    overflow: WindowStats = field(default_factory=WindowStats)
+    evicted_windows: int = 0
+
+
+class DynamicsWindows:
+    """Per-interval bytes/ops/latency series keyed by (task, dataset).
+
+    Args:
+        window_seconds: Interval width on the simulated clock.
+        max_windows_per_key: Newest intervals kept per key (None =
+            unbounded).  Evicted intervals merge into the key's overflow
+            row, so per-key totals are conserved exactly.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 0.5,
+        max_windows_per_key: Optional[int] = None,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if max_windows_per_key is not None and max_windows_per_key < 1:
+            raise ValueError("max_windows_per_key must be >= 1 or None")
+        self.window_seconds = window_seconds
+        self.max_windows_per_key = max_windows_per_key
+        self._series: Dict[Key, _KeySeries] = {}
+        self.total_ops = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    def interval_of(self, t: float) -> int:
+        return int(t // self.window_seconds)
+
+    def observe(self, event: VfdOp) -> None:
+        key = (event.task or "", event.file,
+               event.data_object or FILE_METADATA_OBJECT)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _KeySeries()
+        idx = self.interval_of(event.start)
+        stats = series.windows.get(idx)
+        if stats is None:
+            stats = series.windows[idx] = WindowStats()
+            bound = self.max_windows_per_key
+            if bound is not None and len(series.windows) > bound:
+                oldest = min(series.windows)
+                series.overflow.merge(series.windows.pop(oldest))
+                series.evicted_windows += 1
+        stats.observe(event.op, event.nbytes, event.duration)
+        self.total_ops += 1
+        self.total_bytes += event.nbytes
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[Key]:
+        return sorted(self._series)
+
+    def series_for(self, task: str, file: str,
+                   data_object: str) -> List[Tuple[int, WindowStats]]:
+        """The key's kept intervals as sorted (interval_index, stats)."""
+        series = self._series.get((task, file, data_object))
+        if series is None:
+            return []
+        return sorted(series.windows.items())
+
+    def totals_for(self, task: str, file: str, data_object: str) -> WindowStats:
+        """Exact totals for a key: kept intervals plus the overflow row."""
+        out = WindowStats()
+        series = self._series.get((task, file, data_object))
+        if series is not None:
+            out.merge(series.overflow)
+            for stats in series.windows.values():
+                out.merge(stats)
+        return out
+
+    @property
+    def evicted_windows(self) -> int:
+        return sum(s.evicted_windows for s in self._series.values())
+
+    def to_json_dict(self) -> dict:
+        """Deterministic JSON form (``dayu-monitor``'s series file)."""
+        w = self.window_seconds
+        rows = []
+        for key in self.keys():
+            task, file, obj = key
+            series = self._series[key]
+            rows.append({
+                "task": task,
+                "file": file,
+                "data_object": obj,
+                "evicted_windows": series.evicted_windows,
+                "overflow": series.overflow.to_json_dict(),
+                "points": [
+                    {"t0": idx * w, "t1": (idx + 1) * w,
+                     **stats.to_json_dict()}
+                    for idx, stats in sorted(series.windows.items())
+                ],
+            })
+        return {
+            "window_seconds": w,
+            "total_ops": self.total_ops,
+            "total_bytes": self.total_bytes,
+            "series": rows,
+        }
+
+
+class LiveAggregator:
+    """Bus subscriber maintaining live graphs and windowed dynamics."""
+
+    def __init__(
+        self,
+        window_seconds: float = 0.5,
+        max_windows_per_key: Optional[int] = None,
+        with_regions: bool = False,
+        region_bytes: int = 65536,
+        page_size: int = 4096,
+    ) -> None:
+        self._ftg = GraphBuilder("ftg")
+        self._sdg = GraphBuilder(
+            "sdg", with_regions=with_regions, region_bytes=region_bytes,
+            page_size=page_size,
+        )
+        self.dynamics = DynamicsWindows(
+            window_seconds=window_seconds,
+            max_windows_per_key=max_windows_per_key,
+        )
+        #: Task names in completion order.
+        self.tasks_finished: List[str] = []
+        self.tasks_running = 0
+        # Profiles received but not yet folded into the builders.  Graph
+        # ingestion is deferred to snapshot time so the per-event path
+        # stays cheap; each snapshot folds in only the profiles that
+        # arrived since the last one (amortized incremental), in the
+        # same completion order a post-hoc build would use.
+        self._pending: List[object] = []
+
+    # ------------------------------------------------------------------
+    def handle(self, event: MonitorEvent) -> None:
+        kind = event.kind
+        if kind == "vfd_op":
+            self.dynamics.observe(event)  # type: ignore[arg-type]
+        elif kind == "task_finished":
+            profile = event.profile  # type: ignore[attr-defined]
+            self._pending.append(profile)
+            self.tasks_finished.append(profile.task)
+            self.tasks_running = max(self.tasks_running - 1, 0)
+        elif kind == "task_started":
+            self.tasks_running += 1
+
+    # ------------------------------------------------------------------
+    def _ingest_pending(self) -> None:
+        for profile in self._pending:
+            self._ftg.add_profile(profile)
+            self._sdg.add_profile(profile)
+        self._pending.clear()
+
+    def snapshot_ftg(self) -> nx.DiGraph:
+        """Finalized live FTG over every task finished so far."""
+        self._ingest_pending()
+        return self._ftg.build(copy=True)
+
+    def snapshot_sdg(self) -> nx.DiGraph:
+        """Finalized live SDG over every task finished so far."""
+        self._ingest_pending()
+        return self._sdg.build(copy=True)

@@ -1,0 +1,235 @@
+"""The bounded in-process event bus.
+
+Publishers (tracers, mapper, runner) call :meth:`EventBus.publish`; each
+subscriber owns a bounded FIFO queue drained in batches — the model of an
+asynchronous consumer that wakes when its buffer fills or at task
+boundaries, which is why subscriber work is *charged* to the simulated
+clock (:meth:`~repro.simclock.SimClock.charge` — accounted but off the
+critical path) rather than advancing it.  With no monitor attached,
+nothing is published and the ``dayu.monitor.subscriber`` account stays at
+exactly zero.
+
+Backpressure is per subscriber:
+
+- **block** — a full queue forces an inline drain; nothing is ever lost
+  (the publisher "waits for" the consumer).  Counted in
+  ``blocked_flushes``.
+- **drop** — a full queue drops the *new* droppable event and counts it.
+- **sample** — only every N-th droppable event is admitted; the rest are
+  counted as ``sampled_out``.  Admitted events block rather than drop.
+
+Lifecycle events (:data:`~repro.monitor.events.CRITICAL_KINDS`) bypass
+drop/sample filtering under every policy, and their arrival drains every
+queue — so a lossy subscriber still observes complete, ordered task
+boundaries and a mid-run consumer is never more than one task behind.
+
+Accounting always reconciles exactly, per subscriber::
+
+    offered == delivered + dropped + sampled_out + queued
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.monitor.events import CRITICAL_KINDS, MonitorEvent
+from repro.simclock import SimClock
+
+__all__ = ["MONITOR_ACCOUNT", "Backpressure", "Subscription", "EventBus"]
+
+#: Clock account subscriber (consumer-side) work is charged to.  Kept
+#: separate from the tracer accounts so the Figure 9/10 overhead numbers
+#: still isolate pure tracing cost.
+MONITOR_ACCOUNT = "dayu.monitor.subscriber"
+
+
+class Backpressure(str, enum.Enum):
+    """What a subscription does when its bounded queue is full."""
+
+    BLOCK = "block"
+    DROP = "drop"
+    SAMPLE = "sample"
+
+
+class Subscription:
+    """One subscriber's bounded queue, policy, and exact accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        handler: Callable[[MonitorEvent], None],
+        policy: Backpressure = Backpressure.BLOCK,
+        capacity: int = 256,
+        sample_every: int = 1,
+        clock: Optional[SimClock] = None,
+        cost_per_event: float = 0.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if policy is Backpressure.SAMPLE and sample_every == 1:
+            policy = Backpressure.BLOCK  # 1-in-1 sampling is just blocking
+        self.name = name
+        self.handler = handler
+        self.policy = policy
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._clock = clock
+        self._cost = cost_per_event
+        self._queue: deque = deque()
+        self._droppable_seen = 0
+        # -- exact accounting ------------------------------------------
+        self.offered = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.sampled_out = 0
+        self.blocked_flushes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def offer(self, event: MonitorEvent,
+              critical: Optional[bool] = None) -> None:
+        """Admit one event under this subscription's policy.
+
+        ``critical`` lets :meth:`EventBus.publish` pass the (per-event
+        constant) criticality it already resolved instead of re-testing
+        it once per subscription.
+        """
+        self.offered += 1
+        if critical is None:
+            critical = event.kind in CRITICAL_KINDS
+        if not critical:
+            if self.policy is Backpressure.SAMPLE:
+                self._droppable_seen += 1
+                if (self._droppable_seen - 1) % self.sample_every:
+                    self.sampled_out += 1
+                    return
+            if len(self._queue) >= self.capacity:
+                if self.policy is Backpressure.DROP:
+                    self.dropped += 1
+                    return
+                self.blocked_flushes += 1
+                self.pump()
+        elif len(self._queue) >= self.capacity:
+            # Critical events never drop: force a drain to make room.
+            self.blocked_flushes += 1
+            self.pump()
+        self._queue.append(event)
+
+    def pump(self) -> int:
+        """Drain the queue through the handler; returns events delivered."""
+        n = 0
+        while self._queue:
+            event = self._queue.popleft()
+            self.handler(event)
+            self.delivered += 1
+            n += 1
+        if n and self._clock is not None and self._cost > 0.0:
+            self._clock.charge(MONITOR_ACCOUNT, self._cost * n)
+        return n
+
+    def reconciles(self) -> bool:
+        """True when the accounting identity holds exactly."""
+        return self.offered == (
+            self.delivered + self.dropped + self.sampled_out + self.queued
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy.value,
+            "capacity": self.capacity,
+            "sample_every": self.sample_every,
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "sampled_out": self.sampled_out,
+            "queued": self.queued,
+            "blocked_flushes": self.blocked_flushes,
+            "reconciles": self.reconciles(),
+        }
+
+
+class EventBus:
+    """Typed pub/sub with bounded per-subscriber queues (see module doc)."""
+
+    def __init__(self, clock: SimClock, cost_per_event: float = 5.0e-8) -> None:
+        self.clock = clock
+        self.cost_per_event = cost_per_event
+        self._subs: List[Subscription] = []
+        self.sequence = 0
+        #: Events published, per event kind.
+        self.published: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        name: str,
+        handler: Callable[[MonitorEvent], None],
+        policy: Backpressure = Backpressure.BLOCK,
+        capacity: int = 256,
+        sample_every: int = 1,
+    ) -> Subscription:
+        if any(s.name == name for s in self._subs):
+            raise ValueError(f"subscriber {name!r} already registered")
+        sub = Subscription(
+            name, handler, policy=policy, capacity=capacity,
+            sample_every=sample_every, clock=self.clock,
+            cost_per_event=self.cost_per_event,
+        )
+        self._subs.append(sub)
+        return sub
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subs)
+
+    def subscription(self, name: str) -> Subscription:
+        for s in self._subs:
+            if s.name == name:
+                return s
+        raise KeyError(f"no subscriber named {name!r}")
+
+    # ------------------------------------------------------------------
+    def publish(self, event: MonitorEvent) -> None:
+        """Offer one event to every subscription (in subscription order)."""
+        self.sequence += 1
+        kind = event.kind
+        self.published[kind] = self.published.get(kind, 0) + 1
+        if kind in CRITICAL_KINDS:
+            for sub in self._subs:
+                sub.offer(event, True)
+                # Task/stage boundaries drain every queue: consumers are
+                # at most one task behind the run at all times.
+                sub.pump()
+        else:
+            for sub in self._subs:
+                sub.offer(event, False)
+
+    def flush(self) -> int:
+        """Drain every subscription; returns total events delivered."""
+        return sum(sub.pump() for sub in self._subs)
+
+    @property
+    def total_published(self) -> int:
+        return sum(self.published.values())
+
+    def reconciles(self) -> bool:
+        """Every subscription's accounting identity holds, and every
+        subscription was offered every published event."""
+        return all(
+            s.reconciles() and s.offered == self.sequence for s in self._subs
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "published": dict(sorted(self.published.items())),
+            "total_published": self.total_published,
+            "subscribers": {s.name: s.stats() for s in self._subs},
+            "reconciles": self.reconciles(),
+        }

@@ -1,0 +1,333 @@
+"""Metrics primitives and exposition formats.
+
+A tiny, dependency-free metrics layer: :class:`Counter`, :class:`Gauge`,
+and :class:`Histogram` instruments registered in a
+:class:`MetricsRegistry`, rendered either as a JSON snapshot or as the
+Prometheus text exposition format (version 0.0.4: ``# HELP`` / ``# TYPE``
+headers, ``name{label="value"} sample`` lines, cumulative
+``_bucket{le=...}`` / ``_sum`` / ``_count`` series for histograms).
+
+Instruments are label-aware: ``counter.labels(task="t1").inc()`` creates
+one timeseries per label-value combination.  Rendering is deterministic —
+metrics in registration order, label sets sorted — so exported files are
+stable across identical runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram buckets (seconds-ish scale, powers of four).
+DEFAULT_BUCKETS = (1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3,
+                   4.096e-3, 1.6384e-2, 6.5536e-2, 0.262144, 1.048576)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _render_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{name}="{_escape(value)}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Instrument:
+    """Shared naming/labeling machinery for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: Dict[LabelKey, object] = {}
+
+    def _resolve(self, labels: Dict[str, str]) -> LabelKey:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}")
+        return _label_key(labels)
+
+    def _bind(self, key: LabelKey):
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """A child with its label key pre-resolved, prometheus-client
+        style — per-event code should hold one and skip the kwargs/sort
+        cost of label resolution on every update."""
+        key = self._resolve(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._bind(key)
+        return child
+
+
+class _BoundCounter:
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Dict[LabelKey, float], key: LabelKey) -> None:
+        self._values = values
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._values[self._key] = self._values.get(self._key, 0.0) + amount
+
+
+class _BoundGauge:
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Dict[LabelKey, float], key: LabelKey) -> None:
+        self._values = values
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._values[self._key] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._values[self._key] = self._values.get(self._key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class _BoundHistogram:
+    __slots__ = ("_series", "_bounds")
+
+    def __init__(self, series: "_HistogramSeries",
+                 bounds: Sequence[float]) -> None:
+        self._series = series
+        self._bounds = bounds
+
+    def observe(self, value: float) -> None:
+        series = self._series
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                break
+        series.total += value
+        series.count += 1
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str,
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._resolve(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._resolve(labels), 0.0)
+
+    def _bind(self, key: LabelKey) -> _BoundCounter:
+        return _BoundCounter(self._values, key)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} counter"]
+        for key in sorted(self._values):
+            lines.append(f"{self.name}{_render_labels(key)} "
+                         f"{_format_value(self._values[key])}")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "help": self.help,
+                "values": [{"labels": dict(k), "value": v}
+                           for k, v in sorted(self._values.items())]}
+
+
+class Gauge(_Instrument):
+    """Value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str,
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._resolve(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._resolve(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._resolve(labels), 0.0)
+
+    def _bind(self, key: LabelKey) -> _BoundGauge:
+        return _BoundGauge(self._values, key)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} gauge"]
+        for key in sorted(self._values):
+            lines.append(f"{self.name}{_render_labels(key)} "
+                         f"{_format_value(self._values[key])}")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "help": self.help,
+                "values": [{"labels": dict(k), "value": v}
+                           for k, v in sorted(self._values.items())]}
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket distribution (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 label_names: Sequence[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, label_names)
+        bounds = sorted(set(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._resolve(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.bounds))
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                break
+        series.total += value
+        series.count += 1
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(self._resolve(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(self._resolve(labels))
+        return series.total if series else 0.0
+
+    def _bind(self, key: LabelKey) -> _BoundHistogram:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.bounds))
+        return _BoundHistogram(series, self.bounds)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} histogram"]
+        for key in sorted(self._series):
+            series = self._series[key]
+            cumulative = 0
+            for bound, n in zip(self.bounds, series.bucket_counts):
+                cumulative += n
+                le = _render_labels(key, f'le="{_format_value(bound)}"')
+                lines.append(f"{self.name}_bucket{le} {cumulative}")
+            le = _render_labels(key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{le} {series.count}")
+            labels = _render_labels(key)
+            lines.append(f"{self.name}_sum{labels} "
+                         f"{_format_value(series.total)}")
+            lines.append(f"{self.name}_count{labels} {series.count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram", "help": self.help, "buckets": self.bounds,
+            "values": [
+                {"labels": dict(k),
+                 "bucket_counts": list(s.bucket_counts),
+                 "sum": s.total, "count": s.count}
+                for k, s in sorted(self._series.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, rendered together (registration order)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        if instrument.name in self._instruments:
+            raise ValueError(f"metric {instrument.name!r} already registered")
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str,
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, label_names))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str,
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, label_names))  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str,
+                  label_names: Sequence[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(
+            Histogram(name, help, label_names, buckets))  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        for instrument in self._instruments.values():
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict:
+        return {name: inst.snapshot()
+                for name, inst in self._instruments.items()}
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)

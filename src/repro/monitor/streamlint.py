@@ -1,0 +1,366 @@
+"""Streaming lint: bounded-state DY2xx/DY3xx checks evaluated mid-run.
+
+The batch engine (:mod:`repro.lint`) sees finished profiles; this module
+sees the live :class:`~repro.monitor.events.VfdOp` stream and raises
+alerts *while the workflow is still running*.  It mirrors the batch
+semantics exactly where that is possible with bounded state:
+
+- **DY201 / DY202 / DY203** (RAW / WAR / WAW races) — per raw-touched
+  ``(file, dataset, task)`` triple it keeps first-access times, op
+  counts, and a *capped* merged extent list; the happens-before oracle is
+  an online mirror of :func:`repro.analyzer.ordering.dependency_dag`
+  over the same recorded-operation subset the post-hoc engine would see.
+- **DY302** (invalid extents) — stateless per-record field validation.
+
+Alerts carry :class:`~repro.lint.findings.Finding` objects, so their
+fingerprints are computed by the very same code as ``dayu-lint`` —
+a mid-run alert and the batch finding for the same hazard hash
+identically (fingerprints cover code + subject + tasks, which streaming
+knows exactly; only message wording and — when the extent cap engaged —
+severity may differ).
+
+One subtlety keeps streaming sound: a happens-before edge can appear
+*retroactively* (a later write to a file lowers the producer side's
+first-write time), so a pair that looks unordered mid-run may be ordered
+by the end of the trace.  :meth:`StreamLint.finalize` therefore re-runs
+the exact batch pair algorithm against the final online state: confirmed
+findings are returned, and mid-run alerts whose hazard did not survive
+are marked ``retracted``.  The invariant tests rely on — finalized
+streaming findings ⊆ batch findings, fingerprint-for-fingerprint — holds
+on every bundled workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.lint.context import extents_overlap, merge_extents
+from repro.lint.findings import Finding, Severity
+from repro.mapper.stats import FILE_METADATA_OBJECT
+from repro.monitor.events import MonitorEvent, VfdOp
+from repro.vfd.base import IoClass
+
+__all__ = ["StreamAlert", "StreamLint"]
+
+
+@dataclass
+class StreamAlert:
+    """One mid-run lint alert: a finding plus when it fired."""
+
+    finding: Finding
+    time: float
+    #: Set by :meth:`StreamLint.finalize` when a later happens-before
+    #: edge ordered the pair after all (the hazard did not survive).
+    retracted: bool = False
+
+
+@dataclass
+class _OrderingRow:
+    """Mirror of one joined-stats row: (task, file, object) first touch."""
+
+    first_start: float
+    has_read: bool = False
+    has_write: bool = False
+
+
+@dataclass
+class _RawAccess:
+    """One task's raw-data interaction with one object (bounded state)."""
+
+    task: str
+    raw_reads: int = 0
+    raw_writes: int = 0
+    first_raw_read: Optional[float] = None
+    first_raw_write: Optional[float] = None
+    write_extents: List[Tuple[int, int]] = field(default_factory=list)
+    #: False once the extent cap collapsed the list to a bounding interval.
+    extents_exact: bool = True
+
+
+class StreamLint:
+    """Online evaluator for the bounded-state lint subset (module doc)."""
+
+    def __init__(
+        self,
+        max_extents_per_access: int = 64,
+        on_alert: Optional[Callable[[StreamAlert], None]] = None,
+    ) -> None:
+        if max_extents_per_access < 1:
+            raise ValueError("max_extents_per_access must be >= 1")
+        self.max_extents = max_extents_per_access
+        self.on_alert = on_alert
+        #: Alerts in emission order (including any later retracted).
+        self.alerts: List[StreamAlert] = []
+        # (task, file, object) -> ordering row over *recorded* ops.
+        self._rows: Dict[Tuple[str, str, str], _OrderingRow] = {}
+        # (file, object) -> task -> raw access, tasks in first-touch order.
+        self._objects: Dict[Tuple[str, str], Dict[str, _RawAccess]] = {}
+        self._fingerprints: Set[str] = set()
+        self._finalized: Optional[List[Finding]] = None
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def handle(self, event: MonitorEvent) -> None:
+        """Bus handler; subscribe with the lossless (block) policy."""
+        if event.kind != "vfd_op":
+            return
+        op: VfdOp = event  # type: ignore[assignment]
+        if not op.recorded:
+            # The post-hoc engine only ever sees recorded operations;
+            # mirroring that subset is what keeps fingerprints aligned.
+            return
+        self._finalized = None
+        task = op.task or ""
+        self._check_integrity(op, task)
+        self._observe_ordering(op, task)
+        self._observe_raw(op, task)
+
+    def _check_integrity(self, op: VfdOp, task: str) -> None:
+        problems = []
+        if op.nbytes < 0:
+            problems.append(f"nbytes={op.nbytes}")
+        if op.offset < 0:
+            problems.append(f"offset={op.offset}")
+        if op.duration < 0:
+            problems.append(f"duration={op.duration}")
+        if not problems:
+            return
+        finding = Finding(
+            code="DY302", rule="invalid-extent", severity=Severity.ERROR,
+            subject=f"{op.file}:{op.data_object or FILE_METADATA_OBJECT}",
+            tasks=(task,),
+            message=(f"live I/O operation ({op.op} of {op.file}) carries "
+                     f"invalid fields: {', '.join(problems)}"),
+            evidence={"problems": problems},
+        )
+        self._emit(finding, op.time)
+
+    def _observe_ordering(self, op: VfdOp, task: str) -> None:
+        key = (task, op.file, op.data_object or FILE_METADATA_OBJECT)
+        row = self._rows.get(key)
+        if row is None:
+            row = self._rows[key] = _OrderingRow(first_start=op.start)
+        elif op.start < row.first_start:
+            row.first_start = op.start
+        if op.op == "read":
+            row.has_read = True
+        else:
+            row.has_write = True
+
+    def _observe_raw(self, op: VfdOp, task: str) -> None:
+        obj = op.data_object
+        if obj is None or obj == FILE_METADATA_OBJECT:
+            return
+        if op.io_class is IoClass.METADATA:
+            return
+        accesses = self._objects.setdefault((op.file, obj), {})
+        acc = accesses.get(task)
+        if acc is None:
+            acc = accesses[task] = _RawAccess(task=task)
+        fresh_kind = False
+        if op.op == "read":
+            fresh_kind = acc.raw_reads == 0
+            acc.raw_reads += 1
+            if acc.first_raw_read is None or op.start < acc.first_raw_read:
+                acc.first_raw_read = op.start
+        else:
+            fresh_kind = acc.raw_writes == 0
+            acc.raw_writes += 1
+            if acc.first_raw_write is None or op.start < acc.first_raw_write:
+                acc.first_raw_write = op.start
+            if op.nbytes > 0:
+                acc.write_extents = merge_extents(
+                    acc.write_extents + [(op.offset, op.offset + op.nbytes)])
+                if len(acc.write_extents) > self.max_extents:
+                    acc.write_extents = [(acc.write_extents[0][0],
+                                          acc.write_extents[-1][1])]
+                    acc.extents_exact = False
+        if fresh_kind and len(accesses) > 1:
+            # A new (task, kind) touch is the only transition that can
+            # create a hazard pair — re-scan just this object.
+            ordering = self._build_ordering()
+            for finding in self._object_findings(
+                    op.file, obj, accesses, ordering):
+                self._emit(finding, op.time)
+
+    def _emit(self, finding: Finding, time: float) -> None:
+        if finding.fingerprint in self._fingerprints:
+            return
+        self._fingerprints.add(finding.fingerprint)
+        alert = StreamAlert(finding=finding, time=time)
+        self.alerts.append(alert)
+        if self.on_alert is not None:
+            self.on_alert(alert)
+
+    # ------------------------------------------------------------------
+    # Ordering mirror
+    # ------------------------------------------------------------------
+    def _build_ordering(self) -> nx.DiGraph:
+        """Rebuild the dependency DAG exactly as
+        :func:`repro.analyzer.ordering.dependency_dag` would from the
+        joined stats of the recorded operations seen so far."""
+        writes: Dict[str, Dict[str, float]] = {}
+        reads: Dict[str, Dict[str, float]] = {}
+        for (task, file, _obj), row in self._rows.items():
+            if row.has_write:
+                per = writes.setdefault(file, {})
+                t = per.get(task)
+                per[task] = row.first_start if t is None else min(
+                    t, row.first_start)
+            if row.has_read:
+                per = reads.setdefault(file, {})
+                t = per.get(task)
+                per[task] = row.first_start if t is None else min(
+                    t, row.first_start)
+        g = nx.DiGraph()
+        for file, readers in reads.items():
+            for reader, read_time in readers.items():
+                for writer, write_time in writes.get(file, {}).items():
+                    if writer != reader and write_time < read_time:
+                        g.add_edge(writer, reader, file=file)
+        return g
+
+    @staticmethod
+    def _ordered(dag: nx.DiGraph, a: str, b: str) -> bool:
+        if a in dag and b in nx.descendants(dag, a):
+            return True
+        return b in dag and a in nx.descendants(dag, b)
+
+    # ------------------------------------------------------------------
+    # Hazard pair scan (the batch algorithm, over online state)
+    # ------------------------------------------------------------------
+    def _object_findings(
+        self,
+        file: str,
+        obj: str,
+        accesses: Dict[str, _RawAccess],
+        ordering: nx.DiGraph,
+    ) -> List[Finding]:
+        accs = list(accesses.values())
+        out: List[Finding] = []
+        # Reader/writer races, classified RAW vs WAR exactly as batch.
+        writers = [a for a in accs if a.raw_writes > 0]
+        readers = [a for a in accs if a.raw_reads > 0]
+        seen: Set[Tuple[str, str]] = set()
+        for w_acc in writers:
+            for r_acc in readers:
+                if w_acc.task == r_acc.task:
+                    continue
+                pair = tuple(sorted((w_acc.task, r_acc.task)))
+                if pair in seen or self._ordered(
+                        ordering, w_acc.task, r_acc.task):
+                    continue
+                seen.add(pair)
+                w = w_acc.first_raw_write
+                r = r_acc.first_raw_read
+                raw = w is None or r is None or w <= r
+                if raw:
+                    out.append(Finding(
+                        code="DY201", rule="read-after-write-race",
+                        severity=Severity.ERROR, subject=f"{file}:{obj}",
+                        tasks=pair,
+                        message=(
+                            f"{r_acc.task} reads {obj} in {file} after "
+                            f"{w_acc.task} wrote it, but no dependency path "
+                            "orders them — a reorder can starve the read "
+                            "of its input"),
+                        evidence={"writer": w_acc.task,
+                                  "reader": r_acc.task},
+                    ))
+                else:
+                    out.append(Finding(
+                        code="DY202", rule="write-after-read-race",
+                        severity=Severity.ERROR, subject=f"{file}:{obj}",
+                        tasks=pair,
+                        message=(
+                            f"{w_acc.task} overwrites {obj} in {file} after "
+                            f"{r_acc.task} read it, but no dependency path "
+                            "orders them — a reorder can clobber the data "
+                            "before it is consumed"),
+                        evidence={"writer": w_acc.task,
+                                  "reader": r_acc.task},
+                    ))
+        # Unordered double writes.
+        seen = set()
+        for i, a in enumerate(writers):
+            for b in writers[i + 1:]:
+                if a.task == b.task:
+                    continue
+                pair = tuple(sorted((a.task, b.task)))
+                if pair in seen or self._ordered(ordering, a.task, b.task):
+                    continue
+                seen.add(pair)
+                overlap = extents_overlap(a.write_extents, b.write_extents)
+                exact = a.extents_exact and b.extents_exact
+                if overlap is None:
+                    severity = Severity.WARNING
+                    detail = ("their byte extents are disjoint (collective "
+                              "partial-write pattern), but metadata updates "
+                              "still race")
+                else:
+                    severity = Severity.ERROR
+                    lo, hi = overlap
+                    gran = ("bytes" if exact
+                            else "bounded extents (approximate)")
+                    detail = (f"their writes overlap at {gran} "
+                              f"[{lo}, {hi}) — last scheduled writer wins")
+                out.append(Finding(
+                    code="DY203", rule="unordered-double-write",
+                    severity=severity, subject=f"{file}:{obj}", tasks=pair,
+                    message=(
+                        f"{a.task} and {b.task} both write {obj} in {file} "
+                        f"with no dependency path between them; {detail}"),
+                    evidence={
+                        "overlap": list(overlap) if overlap else None,
+                        "extent_precision": "byte" if exact else "bounded",
+                    },
+                ))
+        return out
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[Finding]:
+        """Re-validate against the complete trace and return the confirmed
+        findings (deterministic batch order); mid-run alerts whose pair
+        gained a happens-before edge are marked ``retracted``."""
+        if self._finalized is not None:
+            return list(self._finalized)
+        ordering = self._build_ordering()
+        confirmed: List[Finding] = []
+        prints: Set[str] = set()
+        for (file, obj) in sorted(self._objects):
+            for finding in self._object_findings(
+                    file, obj, self._objects[(file, obj)], ordering):
+                if finding.fingerprint not in prints:
+                    prints.add(finding.fingerprint)
+                    confirmed.append(finding)
+        # DY302 alerts are unconditional: field validity never changes.
+        for alert in self.alerts:
+            if alert.finding.code == "DY302":
+                if alert.finding.fingerprint not in prints:
+                    prints.add(alert.finding.fingerprint)
+                    confirmed.append(alert.finding)
+                alert.retracted = False
+            else:
+                alert.retracted = alert.finding.fingerprint not in prints
+        confirmed.sort(key=lambda f: f.sort_key())
+        self._finalized = confirmed
+        return list(confirmed)
+
+    @property
+    def findings(self) -> List[Finding]:
+        """Confirmed findings (finalizes on first access)."""
+        return self.finalize()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "alerts": len(self.alerts),
+            "retracted": sum(1 for a in self.alerts if a.retracted),
+            "tracked_objects": len(self._objects),
+            "tracked_rows": len(self._rows),
+        }

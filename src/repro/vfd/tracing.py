@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.simclock import SimClock
 from repro.vfd.base import IoClass, VirtualFileDriver
@@ -209,6 +209,10 @@ class VfdTracer:
         skip_ops: Number of initial I/O operations per file session to skip
             recording (the Input Parser's granularity knob).
         costs: Modeled profiler costs.
+        emit: Optional live-event sink (``repro.monitor`` bus publish);
+            when set, every low-level operation is also published as a
+            :class:`~repro.monitor.events.VfdOp` event, with ``recorded``
+            marking whether it entered the saved per-op trace.
     """
 
     def __init__(
@@ -218,6 +222,7 @@ class VfdTracer:
         trace_io: bool = True,
         skip_ops: int = 0,
         costs: TracerCosts = TracerCosts(),
+        emit: Optional[Callable] = None,
     ) -> None:
         if skip_ops < 0:
             raise ValueError("skip_ops must be non-negative")
@@ -226,6 +231,16 @@ class VfdTracer:
         self.trace_io = trace_io
         self.skip_ops = skip_ops
         self.costs = costs
+        self.emit = emit
+        self._VfdOp = None
+        if emit is not None:
+            # Safe only at runtime with a live sink (the monitor package
+            # is fully imported by whoever built the sink); a module-level
+            # import would cycle back through repro.monitor.  Bound once
+            # here to keep the per-op path free of import-system lookups.
+            from repro.monitor.events import VfdOp
+
+            self._VfdOp = VfdOp
         self.records: List[VfdIoRecord] = []
         self.sessions: List[FileSession] = []
         self._open_sessions: Dict[str, FileSession] = {}
@@ -280,9 +295,16 @@ class VfdTracer:
         seen = self._session_op_seen.get(path, 0)
         self._session_op_seen[path] = seen + 1
         cost = self.costs.per_io_record + len(self.records) * self.costs.per_record_growth
-        if self.trace_io and seen >= self.skip_ops:
+        recorded = self.trace_io and seen >= self.skip_ops
+        if recorded:
             self.records.append(record)
         self.clock.advance(cost, ACCESS_TRACKER_ACCOUNT)
+        if self.emit is not None:
+            self.emit(self._VfdOp(
+                time=self.clock.now, task=record.task, file=path, op=op,
+                offset=offset, nbytes=nbytes, start=start,
+                duration=duration, io_class=io_class,
+                data_object=record.data_object, recorded=recorded))
 
     # ------------------------------------------------------------------
     # Post-processing helpers

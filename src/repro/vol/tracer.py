@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.simclock import SimClock
 from repro.vfd.channel import VolVfdChannel
@@ -120,6 +120,9 @@ class VolTracer:
         channel: The VOL↔VFD shared channel (this tracer reads the task
             name from it so VOL and VFD traces agree).
         costs: Modeled profiler costs.
+        emit: Optional live-event sink (``repro.monitor`` bus publish);
+            when set, every file/object lifecycle event and access is
+            also published as a typed monitor event.
     """
 
     def __init__(
@@ -127,10 +130,22 @@ class VolTracer:
         clock: SimClock,
         channel: VolVfdChannel,
         costs: VolCosts = VolCosts(),
+        emit: Optional[Callable] = None,
     ) -> None:
         self.clock = clock
         self.channel = channel
         self.costs = costs
+        self.emit = emit
+        self._events = None
+        if emit is not None:
+            # Safe only at runtime with a live sink (the monitor package
+            # is fully imported by whoever built the sink); a module-level
+            # import would cycle back through repro.monitor.  Bound once
+            # here to keep the per-event path free of import-system
+            # lookups.
+            from repro.monitor import events as monitor_events
+
+            self._events = monitor_events
         #: Live profiles per (file, object) — the in-memory hash table.
         self._live: Dict[Tuple[str, str], DataObjectProfile] = {}
         #: Emitted profiles (appended when the owning file closes).
@@ -145,6 +160,9 @@ class VolTracer:
         if path not in self.files_touched:
             self.files_touched.append(path)
         self.clock.advance(self.costs.per_file_event, VOL_TRACKER_ACCOUNT)
+        if self.emit is not None:
+            self.emit(self._events.FileOpened(time=self.clock.now,
+                                 task=self.channel.current_task, file=path))
 
     def on_file_close(self, path: str) -> None:
         """Emit (deferred-log) every profile belonging to ``path``."""
@@ -160,6 +178,9 @@ class VolTracer:
             self.costs.per_file_event + self.costs.per_object_event * len(emitted),
             VOL_TRACKER_ACCOUNT,
         )
+        if self.emit is not None:
+            self.emit(self._events.FileClosed(time=self.clock.now,
+                                 task=self.channel.current_task, file=path))
 
     # ------------------------------------------------------------------
     # Object lifecycle
@@ -197,12 +218,21 @@ class VolTracer:
             profile.released = None
         self.clock.advance(self._event_cost(self.costs.per_object_event),
                            VOL_TRACKER_ACCOUNT)
+        if self.emit is not None:
+            self.emit(self._events.DatasetOpened(
+                time=self.clock.now, task=self.channel.current_task,
+                file=file, data_object=object_name, shape=tuple(shape),
+                dtype=dtype, layout=layout, nbytes=nbytes))
 
     def on_object_close(self, file: str, object_name: str) -> None:
         profile = self._profile(file, object_name)
         profile.released = self.clock.now
         self.clock.advance(self._event_cost(self.costs.per_object_event),
                            VOL_TRACKER_ACCOUNT)
+        if self.emit is not None:
+            self.emit(self._events.DatasetClosed(
+                time=self.clock.now, task=self.channel.current_task,
+                file=file, data_object=object_name))
 
     def _event_cost(self, base: float) -> float:
         """Base cost plus the growing-profile-table walk component."""
@@ -225,6 +255,11 @@ class VolTracer:
             raise ValueError(f"unknown access op {op!r}")
         self.clock.advance(self._event_cost(self.costs.per_access_event),
                            VOL_TRACKER_ACCOUNT)
+        if self.emit is not None:
+            self.emit(self._events.DatasetAccess(
+                time=self.clock.now, task=self.channel.current_task,
+                file=file, data_object=object_name, op=op,
+                elements=elements, nbytes=nbytes))
 
     # ------------------------------------------------------------------
     # Output

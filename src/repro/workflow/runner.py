@@ -163,6 +163,13 @@ class WorkflowRunner:
         if missing:
             raise ValueError(f"scheduler left tasks unplaced: {missing}")
 
+        monitor = getattr(self.mapper, "monitor", None)
+        if monitor is not None:
+            from repro.monitor.events import StageStarted
+
+            monitor.publish(StageStarted(
+                time=self.cluster.clock.now, task=None, stage=stage.name))
+
         if stage.parallel:
             per_node: Dict[str, int] = {}
             for node in placement.values():
@@ -187,6 +194,12 @@ class WorkflowRunner:
             wall = max(durations.values(), default=0.0)
         else:
             wall = sum(durations.values())
+        if monitor is not None:
+            from repro.monitor.events import StageFinished
+
+            monitor.publish(StageFinished(
+                time=self.cluster.clock.now, task=None, stage=stage.name,
+                wall_time=wall))
         return StageResult(
             name=stage.name,
             wall_time=wall,
