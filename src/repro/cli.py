@@ -54,6 +54,18 @@ def run_main(argv: List[str] | None = None) -> int:
                         help="attach the live monitor (streaming lint "
                              "alerts print as they fire; see dayu-monitor "
                              "for the full live toolset)")
+    parser.add_argument("--faults", metavar="SPEC.json",
+                        help="inject faults from a FaultSpec JSON file "
+                             "(seeded — the same spec replays bit-for-bit)")
+    parser.add_argument("--retry", type=int, default=0, metavar="N",
+                        help="retry failed tasks up to N extra times with "
+                             "exponential backoff (default 0 = fail fast)")
+    parser.add_argument("--backoff", type=float, default=0.25,
+                        help="base retry backoff in simulated seconds "
+                             "(default 0.25)")
+    parser.add_argument("--result-json", metavar="FILE",
+                        help="write the WorkflowResult (stage timings, "
+                             "failures, retries) as JSON")
     args = parser.parse_args(argv)
 
     if args.monitor:
@@ -66,12 +78,46 @@ def run_main(argv: List[str] | None = None) -> int:
     workflow, prepare = _build_workload(args.workload, args.scale)
     if prepare is not None:
         prepare(env.cluster)
+
+    injector = None
+    if args.faults:
+        from repro.faults import FaultInjector, FaultSpec
+
+        spec = FaultSpec.load(args.faults)
+        emit = env.monitor.publish if env.monitor is not None else None
+        injector = FaultInjector(spec, env.cluster, emit=emit).arm()
+        env.runner.faults = injector
+        print(f"Faults armed from {args.faults} (seed {spec.seed}: "
+              f"{len(spec.device_faults)} device fault(s), "
+              f"{len(spec.node_faults)} node fault(s))")
+    if args.retry:
+        from repro.workflow.runner import RetryPolicy
+
+        env.runner.retry_policy = RetryPolicy(
+            max_attempts=args.retry + 1, backoff_base=args.backoff)
+
     print(f"Running {args.workload} "
           f"({len(workflow.all_tasks())} tasks on {args.nodes} node(s))...")
     result = env.runner.run(workflow)
     if env.monitor is not None:
         env.monitor.finish()
     print(f"  makespan: {result.wall_time:.3f} simulated seconds")
+    if injector is not None:
+        injected = ", ".join(
+            f"{k}={v}" for k, v in sorted(injector.stats().items()) if v)
+        print(f"  injected faults: {injected or 'none'}")
+        if result.retries:
+            print(f"  task retries: {result.retries}")
+        if result.failures:
+            lost = ", ".join(sorted(result.failures))
+            print(f"  lost tasks (degraded): {lost}")
+        injector.disarm()
+    if args.result_json:
+        import json
+
+        Path(args.result_json).write_text(
+            json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+        print(f"  wrote workflow result to {args.result_json}")
     written = env.mapper.save_to_host_dir(args.out,
                                           trace_format=args.trace_format)
     print(f"  wrote {len(written)} task profile(s) to {args.out}/")

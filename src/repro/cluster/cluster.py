@@ -81,6 +81,7 @@ class Cluster:
                 )
             self._local_devices[node.name] = per_tier
         self.fs = SimFS(clock, mounts=mounts)
+        self._dead_nodes: set[str] = set()
 
     # ------------------------------------------------------------------
     # Topology
@@ -113,6 +114,41 @@ class Cluster:
     def owning_node(self, path: str) -> Optional[str]:
         """The node a path is local to, or None for shared paths."""
         return self.fs.mount_for(path).node
+
+    # ------------------------------------------------------------------
+    # Node failure (fault injection)
+    # ------------------------------------------------------------------
+    def fail_node(self, name: str) -> None:
+        """Kill a node: it stops accepting tasks and every node-local tier
+        it hosts becomes unreachable (shared mounts survive).  Idempotent.
+
+        At least one node must stay alive — a cluster with zero survivors
+        cannot place anything, which is a configuration error of the fault
+        plan, not a run-time state.
+        """
+        node = self.node(name)
+        if name in self._dead_nodes:
+            return
+        survivors = [n for n in self.nodes if n != name
+                     and n not in self._dead_nodes]
+        if not survivors:
+            raise ValueError(
+                f"cannot fail node {name!r}: it is the last live node")
+        self._dead_nodes.add(name)
+        for tier in node.local_tiers:
+            self.fs.fail_mount(self.local_prefix(name, tier))
+
+    def is_alive(self, name: str) -> bool:
+        self.node(name)  # validates the name
+        return name not in self._dead_nodes
+
+    def alive_node_names(self) -> List[str]:
+        """Names of nodes that can still run tasks, in definition order."""
+        return [n for n in self.nodes if n not in self._dead_nodes]
+
+    @property
+    def dead_nodes(self) -> List[str]:
+        return sorted(self._dead_nodes)
 
     # ------------------------------------------------------------------
     # Concurrency control (used by the workflow runner)

@@ -23,6 +23,10 @@ Index (paper → module):
 - Figure 13c (ARLDM VL layout) → :mod:`repro.experiments.fig13c_arldm`
 - §VII-B Analyzer scalability → :mod:`repro.experiments.analyzer_scale`
 - Table III → :mod:`repro.cluster.configs`
+
+Beyond the paper, :mod:`repro.experiments.fault_resilience` characterizes
+the fault-injection plane: chaos-workload makespan vs. fault rate, with
+and without retries.
 """
 
 __all__ = [
@@ -34,5 +38,6 @@ __all__ = [
     "fig13b_layout",
     "fig13c_arldm",
     "analyzer_scale",
+    "fault_resilience",
     "graphs",
 ]

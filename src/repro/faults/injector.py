@@ -1,0 +1,183 @@
+"""The fault injector: deterministic execution of a :class:`FaultSpec`.
+
+One :class:`FaultInjector` is armed on a cluster for the duration of a
+run.  It hooks two places:
+
+- **Data plane** — :meth:`on_io` is installed as
+  ``SimFS.fault_injector`` and is called by ``pread``/``pwrite`` *before*
+  any bytes move or costs accrue, so an injected failure is atomic: the
+  operation either fully happens or raises with no partial effect on the
+  store, the op log, or the clock.
+- **Control plane** — :meth:`poll` is called by the workflow runner at
+  stage/task/backoff boundaries (and by :meth:`on_io` itself).  It fires
+  node faults whose time has come via :meth:`Cluster.fail_node` and keeps
+  device slowdown factors in sync with their windows.
+
+Determinism
+-----------
+All randomness comes from one ``random.Random(spec.seed)``.  A draw is
+consumed **only** when a rate-based fault actually matches an operation
+(path + op + window), and matching faults are evaluated in spec order —
+so the stream of draws is a pure function of the spec and the workload's
+operation sequence, and a fixed-seed run replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.faults.spec import DeviceFault, FaultSpec
+from repro.posix.simfs import FsError
+from repro.storage.devices import DeviceError, StorageDevice
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSpec` against a cluster (see module docs).
+
+    Args:
+        spec: The declarative fault plan.
+        cluster: The cluster to inject into.
+        emit: Optional event sink (``monitor.publish``) for
+            :class:`~repro.monitor.events.NodeFailed` events.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        cluster: Cluster,
+        emit: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.cluster = cluster
+        self.emit = emit
+        self._rng = random.Random(spec.seed)
+        self._pending_nodes = sorted(spec.node_faults, key=lambda f: f.at)
+        self._armed = False
+        # Resolved lazily: a slowdown fault's prefix → its device.
+        self._slow_devices: Dict[int, StorageDevice] = {}
+        self._slowdowns = [f for f in spec.device_faults
+                           if f.kind == "slowdown"]
+        self._io_faults = [f for f in spec.device_faults
+                           if f.kind != "slowdown"]
+        #: Injected-error counts by fault kind (observability/tests).
+        self.injected: Dict[str, int] = {
+            "transient": 0, "permanent": 0, "short_io": 0, "node": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Install the data-plane hook on the cluster's filesystem."""
+        existing = self.cluster.fs.fault_injector
+        if existing is not None and existing is not self:
+            raise RuntimeError("another fault injector is already armed")
+        self.cluster.fs.fault_injector = self
+        self._armed = True
+        self.poll()
+        return self
+
+    def disarm(self) -> None:
+        """Remove the hook and restore every slowed device."""
+        if self.cluster.fs.fault_injector is self:
+            self.cluster.fs.fault_injector = None
+        for device in self._slow_devices.values():
+            device.set_slowdown(1.0)
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def poll(self) -> None:
+        """Fire due node faults and refresh slowdown windows."""
+        now = self.cluster.clock.now
+        while self._pending_nodes and self._pending_nodes[0].at <= now:
+            fault = self._pending_nodes.pop(0)
+            if not self.cluster.is_alive(fault.node):
+                continue
+            self.cluster.fail_node(fault.node)
+            self.injected["node"] += 1
+            if self.emit is not None:
+                from repro.monitor.events import NodeFailed
+
+                self.emit(NodeFailed(time=now, task=None, node=fault.node))
+        self._refresh_slowdowns(now)
+
+    def _refresh_slowdowns(self, now: float) -> None:
+        if not self._slowdowns:
+            return
+        # Compose all active windows per device multiplicatively.
+        factors: Dict[int, float] = {}
+        for i, fault in enumerate(self._slowdowns):
+            device = self._device_of(i, fault)
+            if device is None:
+                continue
+            key = id(device)
+            factors.setdefault(key, 1.0)
+            if fault.active_at(now):
+                factors[key] *= fault.factor
+        for i, fault in enumerate(self._slowdowns):
+            device = self._slow_devices.get(i)
+            if device is not None:
+                device.set_slowdown(factors.get(id(device), 1.0))
+
+    def _device_of(self, index: int, fault: DeviceFault):
+        device = self._slow_devices.get(index)
+        if device is None:
+            try:
+                device = self.cluster.fs.mount_for(fault.path_prefix).device
+            except FsError:
+                return None
+            self._slow_devices[index] = device
+        return device
+
+    # ------------------------------------------------------------------
+    # Data plane (called by SimFS before each pread/pwrite)
+    # ------------------------------------------------------------------
+    def on_io(self, op: str, path: str, offset: int, nbytes: int) -> None:
+        """Evaluate the spec against one I/O; raise to fail it.
+
+        Called before the store is touched, so a raised fault leaves the
+        file, the op log, and the clock exactly as they were.
+        """
+        self.poll()
+        # A node fault fired just now may have taken this path's mount
+        # down with it.
+        self.cluster.fs._check_reachable(path)
+        now = self.cluster.clock.now
+        for fault in self._io_faults:
+            if not (fault.matches_op(op) and fault.active_at(now)
+                    and fault.matches_path(path)):
+                continue
+            if fault.kind == "permanent":
+                self.injected["permanent"] += 1
+                raise DeviceError(
+                    f"injected permanent device error: {op} {path!r} "
+                    f"@{offset}+{nbytes}")
+            # Rate-based faults consume exactly one draw per match, in
+            # spec order — the determinism contract.
+            draw = self._rng.random()
+            if draw >= fault.rate:
+                continue
+            if fault.kind == "transient":
+                self.injected["transient"] += 1
+                raise DeviceError(
+                    f"injected transient device error: {op} {path!r} "
+                    f"@{offset}+{nbytes}")
+            self.injected["short_io"] += 1
+            short = max(nbytes // 2, 0)
+            raise FsError(
+                f"injected short {op}: {path!r} @{offset} transferred "
+                f"{short}/{nbytes} bytes")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Injected-fault counts by kind (copy)."""
+        return dict(self.injected)
+
+    @property
+    def pending_node_faults(self) -> List[str]:
+        return [f.node for f in self._pending_nodes]

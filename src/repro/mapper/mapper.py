@@ -138,9 +138,20 @@ class TaskContext:
         return f
 
     def close_all(self) -> None:
-        """Close any files the task left open (tasks should close their own)."""
+        """Close any files the task left open (tasks should close their own).
+
+        Every file gets a close attempt even when an earlier one fails
+        (a dead device must not leak the remaining handles); the first
+        error is re-raised afterwards."""
+        first_error: Optional[BaseException] = None
         for f in self._open_files:
-            f.close()
+            try:
+                f.close()
+            except OSError as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
 
 class DataSemanticMapper:
@@ -167,7 +178,14 @@ class DataSemanticMapper:
 
     @contextmanager
     def task(self, name: str) -> Iterator[TaskContext]:
-        """Scope a task: the launcher informing DaYu of the current task."""
+        """Scope a task: the launcher informing DaYu of the current task.
+
+        A task body that raises produces *no* profile: the partial trace
+        of the failed attempt is discarded (and no ``TaskFinished`` event
+        is published), so FTG/SDG builds — live and post-hoc — only ever
+        see completed attempts and a retried task contributes exactly one
+        profile.  The runner publishes the matching ``TaskFailed`` event.
+        """
         if name in self.profiles:
             raise ValueError(f"task {name!r} already profiled by this mapper")
         ctx = TaskContext(self, name)
@@ -178,7 +196,15 @@ class DataSemanticMapper:
             self.monitor.publish(TaskStarted(time=start, task=name))
         try:
             yield ctx
-        finally:
+        except BaseException:
+            try:
+                ctx.close_all()
+            except OSError:
+                # Closing may flush to the very device that just failed;
+                # never let that mask the task's own failure.
+                pass
+            raise
+        else:
             ctx.close_all()
             profile = self._finish(ctx, start)
             self.profiles[name] = profile
@@ -187,6 +213,11 @@ class DataSemanticMapper:
 
                 self.monitor.publish(TaskFinished(
                     time=self.clock.now, task=name, profile=profile))
+
+    def discard(self, name: str) -> bool:
+        """Drop a stored profile (rarely needed; failed attempts already
+        never store one).  Returns True when a profile was removed."""
+        return self.profiles.pop(name, None) is not None
 
     def _finish(self, ctx: TaskContext, start: float) -> TaskProfile:
         # Characteristic Mapper join: group VFD records by data object.

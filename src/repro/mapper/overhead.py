@@ -12,6 +12,14 @@ profilers run:
 per-layer (VFD vs. VOL execution overhead %, Figure 9a-c) and per-component
 (Input Parser / Access Tracker / Characteristic Mapper shares, Figure 10),
 plus the storage overhead ratio (Figure 9d).
+
+Two non-DaYu accounts deliberately stay *out* of every percentage here:
+``dayu.monitor.subscriber`` (live-monitor consumers, see
+:attr:`OverheadReport.monitor`) and ``retry_backoff`` (time a
+:class:`~repro.workflow.runner.RetryPolicy` spends waiting between task
+attempts under fault injection).  Both are application/operations time,
+not tracing cost — charging them to DaYu would inflate the Figure 9/10
+breakdowns on faulty runs.
 """
 
 from __future__ import annotations

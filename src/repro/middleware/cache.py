@@ -5,17 +5,25 @@ NVMe/SSD, then the parallel filesystem.  :class:`TieredCache` reproduces
 the placement logic over the simulated filesystem: files are *placed* into
 the fastest tier with room (evicting colder files downward when needed),
 and consumers *resolve* a path to wherever its hottest replica lives.
+
+Replicas carry a freshness token — the source's ``(size, mtime)`` at copy
+time — and :meth:`place`/:meth:`resolve` revalidate against the live
+``stat`` before handing a replica out, so a source rewritten after caching
+is never served stale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.middleware.stager import _copy
 from repro.posix.simfs import SimFS
 
 __all__ = ["BufferTier", "TieredCache"]
+
+#: Source freshness token captured at copy time: (size, mtime).
+_Token = Tuple[int, float]
 
 
 @dataclass
@@ -34,9 +42,23 @@ class BufferTier:
     used_bytes: int = 0
     #: original path -> replica path within this tier
     resident: Dict[str, str] = field(default_factory=dict)
+    #: original path -> source (size, mtime) captured when the replica
+    #: was made; travels with the replica through demotion.
+    tokens: Dict[str, _Token] = field(default_factory=dict)
 
     def has_room(self, nbytes: int) -> bool:
         return self.used_bytes + nbytes <= self.capacity_bytes
+
+
+def _encode_path(path: str) -> str:
+    """Flatten a path into a single filename, injectively.
+
+    A plain ``"/" -> "_"`` substitution collides (``/pfs/a/b`` and
+    ``/pfs/a_b`` map to the same replica, silently cross-wiring files), so
+    escape the escape character first: ``_`` -> ``_u``, ``/`` -> ``_s``.
+    Every distinct path gets a distinct replica name.
+    """
+    return path.strip("/").replace("_", "_u").replace("/", "_s")
 
 
 class TieredCache:
@@ -60,15 +82,55 @@ class TieredCache:
     # Placement
     # ------------------------------------------------------------------
     def _replica_path(self, tier: BufferTier, path: str) -> str:
-        safe = path.strip("/").replace("/", "_")
-        return f"{tier.prefix.rstrip('/')}/{safe}"
+        return f"{tier.prefix.rstrip('/')}/{_encode_path(path)}"
+
+    def _source_token(self, path: str) -> _Token:
+        st = self.fs.stat(path)
+        return (st.size, st.mtime)
+
+    def _fresh(self, tier: BufferTier, path: str) -> bool:
+        """True when the tier's replica still matches the live source.
+
+        A source deleted after caching leaves the replica as the last
+        surviving version — that is not staleness."""
+        if not self.fs.exists(path):
+            return True
+        return tier.tokens.get(path) == self._source_token(path)
+
+    def _drop(self, tier: BufferTier, path: str) -> None:
+        """Remove one tier's replica of ``path`` and its accounting."""
+        replica = tier.resident.pop(path, None)
+        tier.tokens.pop(path, None)
+        if replica is not None:
+            tier.used_bytes -= self.fs.stat(replica).size
+            self.fs.unlink(replica)
+
+    def _copy_in(self, tier: BufferTier, path: str, size: int) -> str:
+        """Copy the source into ``tier``; never leaves a partial replica
+        (a copy killed mid-transfer unlinks what it wrote)."""
+        replica = self._replica_path(tier, path)
+        token = self._source_token(path)
+        try:
+            _copy(self.fs, path, replica)
+        except OSError:
+            if self.fs.exists(replica):
+                self.fs.unlink(replica)
+            raise
+        tier.resident[path] = replica
+        tier.tokens[path] = token
+        tier.used_bytes += size
+        return replica
 
     def place(self, path: str, tier_name: Optional[str] = None) -> str:
         """Copy ``path`` into the fastest tier with room (or a named tier).
 
-        Returns the replica path.  When a specific tier is requested and
-        lacks room, colder files are demoted to make space; if the file
-        cannot fit at all, the original path is returned unchanged.
+        Returns the replica path.  A replica that already exists is
+        revalidated against the source's live ``stat``: when the source
+        was rewritten after caching, the stale replica is replaced (or
+        evicted, when the new size no longer fits) instead of returned.
+        When a specific tier is requested and lacks room, colder files are
+        demoted to make space; if the file cannot fit at all, the original
+        path is returned unchanged.
         """
         size = self.fs.stat(path).size
         candidates = (
@@ -80,15 +142,16 @@ class TieredCache:
             raise KeyError(f"no tier named {tier_name!r}")
         for tier in candidates:
             if path in tier.resident:
-                return tier.resident[path]
+                if self._fresh(tier, path):
+                    return tier.resident[path]
+                # Stale: the source changed after caching.  Drop the old
+                # replica and fall through to normal placement with the
+                # current size.
+                self._drop(tier, path)
             if not tier.has_room(size) and tier_name:
                 self._make_room(tier, size)
             if tier.has_room(size):
-                replica = self._replica_path(tier, path)
-                _copy(self.fs, path, replica)
-                tier.resident[path] = replica
-                tier.used_bytes += size
-                return replica
+                return self._copy_in(tier, path, size)
         return path
 
     def _make_room(self, tier: BufferTier, nbytes: int) -> None:
@@ -103,20 +166,32 @@ class TieredCache:
                 demoted = self._replica_path(below, victim)
                 _copy(self.fs, replica, demoted)
                 below.resident[victim] = demoted
+                # The freshness token describes the *source*, so it
+                # travels with the replica unchanged.
+                token = tier.tokens.get(victim)
+                if token is not None:
+                    below.tokens[victim] = token
                 below.used_bytes += size
             self.fs.unlink(replica)
             del tier.resident[victim]
+            tier.tokens.pop(victim, None)
             tier.used_bytes -= size
 
     # ------------------------------------------------------------------
     # Lookup / eviction
     # ------------------------------------------------------------------
     def resolve(self, path: str) -> str:
-        """The fastest replica of ``path``, or the original path."""
+        """The fastest *fresh* replica of ``path``, or the original path.
+
+        Stale replicas (source rewritten after caching) are evicted on
+        sight rather than served.
+        """
         for tier in self.tiers:
             replica = tier.resident.get(path)
             if replica is not None:
-                return replica
+                if self._fresh(tier, path):
+                    return replica
+                self._drop(tier, path)
         return path
 
     def is_cached(self, path: str) -> bool:
@@ -125,10 +200,7 @@ class TieredCache:
     def evict(self, path: str) -> None:
         """Drop every replica of ``path`` from all tiers."""
         for tier in self.tiers:
-            replica = tier.resident.pop(path, None)
-            if replica is not None:
-                tier.used_bytes -= self.fs.stat(replica).size
-                self.fs.unlink(replica)
+            self._drop(tier, path)
 
     def utilization(self) -> Dict[str, float]:
         """Per-tier fraction of capacity in use."""

@@ -240,6 +240,11 @@ class LiveAggregator:
             self.tasks_running = max(self.tasks_running - 1, 0)
         elif kind == "task_started":
             self.tasks_running += 1
+        elif kind == "task_failed":
+            # Failed attempts leave no profile; only the running count
+            # moves, and only for attempts that actually started.
+            if event.started:  # type: ignore[attr-defined]
+                self.tasks_running = max(self.tasks_running - 1, 0)
 
     # ------------------------------------------------------------------
     def _ingest_pending(self) -> None:

@@ -39,6 +39,9 @@ __all__ = [
     "MonitorEvent",
     "TaskStarted",
     "TaskFinished",
+    "TaskFailed",
+    "TaskRetried",
+    "NodeFailed",
     "StageStarted",
     "StageFinished",
     "FileOpened",
@@ -76,6 +79,50 @@ class TaskFinished(MonitorEvent):
 
 
 @dataclass(slots=True)
+class TaskFailed(MonitorEvent):
+    """A task attempt raised; its partial profile was discarded.
+
+    Published once per failed *attempt* (a task retried three times that
+    ultimately succeeds yields two ``task_failed`` + one ``task_finished``).
+    ``fatal`` is True when no further attempt will be made — either the
+    retry budget is exhausted on a best-effort stage (the run degrades) or
+    the failure aborts the workflow."""
+
+    error: str = ""
+    node: str = ""
+    attempt: int = 1
+    fatal: bool = False
+    #: False when the attempt never started (e.g. its node was already
+    #: dead), so no ``task_started`` was published for it — consumers must
+    #: not decrement a running count for such attempts.
+    started: bool = True
+
+    kind = "task_failed"
+
+
+@dataclass(slots=True)
+class TaskRetried(MonitorEvent):
+    """The runner is about to re-attempt a failed task after backoff."""
+
+    attempt: int = 2
+    backoff: float = 0.0
+    node: str = ""
+    #: Node of the previous (failed) attempt, when re-placement moved it.
+    previous_node: str = ""
+
+    kind = "task_retried"
+
+
+@dataclass(slots=True)
+class NodeFailed(MonitorEvent):
+    """A cluster node died; its node-local tiers died with it."""
+
+    node: str = ""
+
+    kind = "node_failed"
+
+
+@dataclass(slots=True)
 class StageStarted(MonitorEvent):
     stage: str = ""
 
@@ -86,6 +133,11 @@ class StageStarted(MonitorEvent):
 class StageFinished(MonitorEvent):
     stage: str = ""
     wall_time: float = 0.0
+    #: True when the stage aborted (a task exhausted its attempts on a
+    #: non-best-effort stage); ``wall_time`` then covers the completed
+    #: portion.  Best-effort stages finish with ``failed=False`` even when
+    #: tasks were lost — the per-task ``task_failed`` events carry those.
+    failed: bool = False
 
     kind = "stage_finished"
 
@@ -158,6 +210,10 @@ class VfdOp(MonitorEvent):
 
 
 #: Event kinds the bus must deliver under every backpressure policy.
+#: Failure events are critical: a lossy dynamics subscriber must still see
+#: the complete task/stage/failure timeline, especially under faults —
+#: going lossy exactly when the run degrades would blind the observer.
 CRITICAL_KINDS = frozenset(
-    {"task_started", "task_finished", "stage_started", "stage_finished"}
+    {"task_started", "task_finished", "task_failed", "task_retried",
+     "node_failed", "stage_started", "stage_finished"}
 )

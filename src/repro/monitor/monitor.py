@@ -122,6 +122,14 @@ class WorkflowMonitor:
         self._m_alerts = m.counter(
             "dayu_lint_alerts_total", "Streaming lint alerts, by rule code.",
             ("code",))
+        self._m_task_failures = m.counter(
+            "dayu_task_failures_total",
+            "Failed task attempts; fatal=true once the retry budget is spent.",
+            ("fatal",))
+        self._m_task_retries = m.counter(
+            "dayu_task_retries_total", "Task attempts beyond the first.")
+        self._m_node_failures = m.counter(
+            "dayu_node_failures_total", "Nodes lost to fault injection.")
         self._m_dropped = m.gauge(
             "dayu_bus_dropped_total",
             "Events dropped by a full bounded queue, per subscriber.",
@@ -139,6 +147,10 @@ class WorkflowMonitor:
         self._b_tasks = self._m_tasks.labels()
         self._b_running = self._m_running.labels()
         self._b_latency = self._m_latency.labels()
+        self._b_retries = self._m_task_retries.labels()
+        self._b_node_failures = self._m_node_failures.labels()
+        self._b_failed_fatal = self._m_task_failures.labels(fatal="true")
+        self._b_failed_retryable = self._m_task_failures.labels(fatal="false")
         self._b_events: dict = {}
         self._b_ops: dict = {}
         self._finished = False
@@ -177,6 +189,18 @@ class WorkflowMonitor:
         elif kind == "task_finished":
             self._b_running.dec()
             self._b_tasks.inc()
+        elif kind == "task_failed":
+            # Attempts that never started never incremented the gauge.
+            if event.started:  # type: ignore[attr-defined]
+                self._b_running.dec()
+            if event.fatal:  # type: ignore[attr-defined]
+                self._b_failed_fatal.inc()
+            else:
+                self._b_failed_retryable.inc()
+        elif kind == "task_retried":
+            self._b_retries.inc()
+        elif kind == "node_failed":
+            self._b_node_failures.inc()
 
     def _sync_bus_gauges(self) -> None:
         for sub in self.bus.subscriptions:

@@ -39,6 +39,10 @@ class FileStat:
     path: str
     size: int
     device: str
+    #: Simulated time of the last content change (creation, write,
+    #: truncate).  Lets caching layers revalidate replicas the way real
+    #: middleware revalidates against ``st_mtime``.
+    mtime: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -96,9 +100,17 @@ class SimFS:
         self.log_ops = log_ops
         self._mounts: List[Mount] = []
         self._files: Dict[str, BlockStore] = {}
+        self._mtimes: Dict[str, float] = {}
         self._fds: Dict[int, _OpenFile] = {}
         self._next_fd = 3  # reserve 0-2 like a real process
         self.op_log: List[OpRecord] = []
+        #: Mount prefixes whose backing hardware is gone (node failure);
+        #: opens and I/O under them raise :class:`FsError`.
+        self._failed_prefixes: List[str] = []
+        #: Optional :class:`repro.faults.FaultInjector`-shaped hook; when
+        #: set, every ``pread``/``pwrite`` consults it *before* any bytes
+        #: move, so injected failures never half-apply an operation.
+        self.fault_injector = None
         for m in mounts:
             self.add_mount(m)
 
@@ -124,6 +136,31 @@ class SimFS:
         return list(self._mounts)
 
     # ------------------------------------------------------------------
+    # Mount failure (node loss)
+    # ------------------------------------------------------------------
+    def fail_mount(self, prefix: str) -> None:
+        """Mark every path under ``prefix`` as unreachable.
+
+        Models a node-local tier dying with its node: the namespace keeps
+        the entries (so post-mortem ``stat``/``exists`` still answer, like
+        a cached inode), but opens and data operations raise
+        :class:`FsError`.  Idempotent."""
+        if prefix not in self._failed_prefixes:
+            self._failed_prefixes.append(prefix)
+
+    def mount_failed(self, path: str) -> bool:
+        """True when ``path`` lives under a failed mount prefix."""
+        return any(
+            path == p or path.startswith(p.rstrip("/") + "/")
+            for p in self._failed_prefixes
+        )
+
+    def _check_reachable(self, path: str) -> None:
+        if self._failed_prefixes and self.mount_failed(path):
+            raise FsError(f"I/O error: {path!r} is on a failed mount "
+                          "(node down)")
+
+    # ------------------------------------------------------------------
     # Namespace
     # ------------------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -140,19 +177,24 @@ class SimFS:
         if path not in self._files:
             raise FsError(f"unlink: no such file {path!r}")
         del self._files[path]
+        self._mtimes.pop(path, None)
 
     def rename(self, src: str, dst: str) -> None:
         """Atomically move ``src`` to ``dst`` within the namespace."""
         if src not in self._files:
             raise FsError(f"rename: no such file {src!r}")
         self._files[dst] = self._files.pop(src)
+        self._mtimes[dst] = self._mtimes.pop(src, 0.0)
 
     def stat(self, path: str) -> FileStat:
         store = self._files.get(path)
         if store is None:
             raise FsError(f"stat: no such file {path!r}")
         return FileStat(
-            path=path, size=store.size, device=self.mount_for(path).device.spec.name
+            path=path,
+            size=store.size,
+            device=self.mount_for(path).device.spec.name,
+            mtime=self._mtimes.get(path, 0.0),
         )
 
     def store_of(self, path: str) -> BlockStore:
@@ -173,6 +215,7 @@ class SimFS:
         exclusive-create read/write, ``"a"`` append read/write.
         """
         mount = self.mount_for(path)
+        self._check_reachable(path)
         store = self._files.get(path)
         if mode in ("r", "r+"):
             if store is None:
@@ -180,15 +223,18 @@ class SimFS:
         elif mode == "w":
             store = BlockStore()
             self._files[path] = store
+            self._mtimes[path] = self.clock.now
         elif mode == "x":
             if store is not None:
                 raise FsError(f"open(x): file exists {path!r}")
             store = BlockStore()
             self._files[path] = store
+            self._mtimes[path] = self.clock.now
         elif mode == "a":
             if store is None:
                 store = BlockStore()
                 self._files[path] = store
+                self._mtimes[path] = self.clock.now
         else:
             raise ValueError(f"unsupported mode {mode!r}")
         fd = self._next_fd
@@ -220,6 +266,9 @@ class SimFS:
     def pread(self, fd: int, nbytes: int, offset: int) -> bytes:
         """Positional read; charges device cost and logs the operation."""
         of = self._fd(fd)
+        self._check_reachable(of.path)
+        if self.fault_injector is not None:
+            self.fault_injector.on_io("read", of.path, offset, nbytes)
         data = of.store.read(offset, nbytes)
         self._account("read", of, offset, len(data))
         return data
@@ -229,8 +278,12 @@ class SimFS:
         of = self._fd(fd)
         if not of.writable:
             raise FsError(f"fd {fd} not opened for writing")
+        self._check_reachable(of.path)
+        if self.fault_injector is not None:
+            self.fault_injector.on_io("write", of.path, offset, len(data))
         of.store.write(offset, data)
         self._account("write", of, offset, len(data))
+        self._mtimes[of.path] = self.clock.now
         return len(data)
 
     def read(self, fd: int, nbytes: int) -> bytes:
@@ -258,7 +311,9 @@ class SimFS:
         of = self._fd(fd)
         if not of.writable:
             raise FsError(f"fd {fd} not opened for writing")
+        self._check_reachable(of.path)
         of.store.truncate(size)
+        self._mtimes[of.path] = self.clock.now
 
     def file_size(self, fd: int) -> int:
         return self._fd(fd).store.size

@@ -30,11 +30,20 @@ from typing import Dict
 
 __all__ = [
     "DeviceSpec",
+    "DeviceError",
     "StorageDevice",
     "IoCounters",
     "DEVICE_CATALOG",
     "make_device",
 ]
+
+
+class DeviceError(OSError):
+    """An injected (or modeled) device-level I/O failure.
+
+    Subclasses ``OSError`` like :class:`~repro.posix.simfs.FsError`, so
+    callers that already handle filesystem errors handle device faults
+    too; kept separate so fault-injection tests can assert the layer."""
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -207,6 +216,7 @@ class StorageDevice:
         self.counters = IoCounters()
         self._last_end: Dict[object, int] = {}
         self._concurrency: int = 1
+        self._slowdown: float = 1.0
 
     # ------------------------------------------------------------------
     # Concurrency
@@ -226,6 +236,23 @@ class StorageDevice:
         """Cost multiplier for ``n`` concurrent streams (default: current)."""
         n = self._concurrency if n is None else n
         return 1.0 + self.spec.contention_share * (n - 1)
+
+    # ------------------------------------------------------------------
+    # Degradation (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def slowdown(self) -> float:
+        """Extra cost multiplier while the device is degraded (>= 1)."""
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) the device by a cost multiplier.
+
+        Used by :mod:`repro.faults` to model stragglers and sick devices;
+        composes multiplicatively with the contention factor."""
+        if not (factor >= 1.0):
+            raise ValueError(f"slowdown factor must be >= 1, got {factor!r}")
+        self._slowdown = factor
 
     # ------------------------------------------------------------------
     # Cost model
@@ -266,7 +293,7 @@ class StorageDevice:
             cost += self.spec.seek_penalty
             self.counters.seeks += 1
         self._last_end[stream] = offset + nbytes
-        return cost * self.contention_factor()
+        return cost * self.contention_factor() * self._slowdown
 
     def forget_stream(self, stream: object) -> None:
         """Drop sequentiality state for a closed stream."""

@@ -27,7 +27,14 @@ from repro.workflow.contracts import (
     writes,
 )
 from repro.workflow.model import Stage, Task, Workflow
-from repro.workflow.runner import StageResult, TaskRuntime, WorkflowResult, WorkflowRunner
+from repro.workflow.runner import (
+    RetryPolicy,
+    StageResult,
+    TaskFailure,
+    TaskRuntime,
+    WorkflowResult,
+    WorkflowRunner,
+)
 from repro.workflow.scheduler import CoLocateScheduler, PinnedScheduler, RoundRobinScheduler
 
 __all__ = [
@@ -38,6 +45,8 @@ __all__ = [
     "WorkflowResult",
     "StageResult",
     "TaskRuntime",
+    "RetryPolicy",
+    "TaskFailure",
     "RoundRobinScheduler",
     "PinnedScheduler",
     "CoLocateScheduler",

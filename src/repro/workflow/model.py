@@ -50,11 +50,19 @@ class Task:
 
 @dataclass
 class Stage:
-    """A logical grouping of tasks; parallel stages fan out across nodes."""
+    """A logical grouping of tasks; parallel stages fan out across nodes.
+
+    ``best_effort`` declares the stage's tasks droppable: when a task
+    still fails after its retry budget, the runner records the loss in the
+    :class:`~repro.workflow.runner.StageResult` and keeps going instead of
+    aborting the workflow — the graceful-degradation mode for ensemble
+    stages whose downstream consumers can cope with missing members.
+    """
 
     name: str
     tasks: List[Task] = field(default_factory=list)
     parallel: bool = True
+    best_effort: bool = False
 
     def add(self, task: Task) -> "Stage":
         self.tasks.append(task)

@@ -16,6 +16,26 @@ slowed by its contention model.  The runner therefore:
 The reported workflow/stage wall-clock times — the quantities the paper's
 Figures 11 and 12 compare — live in the :class:`WorkflowResult`; the raw
 clock keeps its total-work semantics for profile ordering.
+
+Failure model
+-------------
+Real distributed workflows fail, and the runner treats failure as a
+first-class state rather than an abort:
+
+- A task body that raises fails *that attempt*; the mapper discards the
+  attempt's partial profile and the runner publishes a ``TaskFailed``
+  monitor event.
+- With a :class:`RetryPolicy`, failed attempts are re-run after an
+  exponential backoff charged to the ``retry_backoff`` clock account
+  (application wait time — deliberately *not* a DaYu overhead account).
+  When the task's node died, the retry is re-placed onto a surviving
+  node via the scheduler.
+- A task that exhausts its attempts on a ``best_effort`` stage is
+  recorded in the :class:`StageResult` and the run continues (graceful
+  degradation); on an ordinary stage the original exception propagates —
+  but only after the partial :class:`StageResult` is preserved on the
+  :class:`WorkflowResult` and the ``StageFinished`` event is published
+  with ``failed=True``, so monitor bus accounting still reconciles.
 """
 
 from __future__ import annotations
@@ -30,9 +50,20 @@ from repro.vol.objects import VolFile
 from repro.workflow.model import Stage, Task, Workflow
 from repro.workflow.scheduler import RoundRobinScheduler, Scheduler
 
-__all__ = ["TaskRuntime", "StageResult", "WorkflowResult", "WorkflowRunner"]
+__all__ = [
+    "TaskRuntime",
+    "RetryPolicy",
+    "TaskFailure",
+    "StageResult",
+    "WorkflowResult",
+    "WorkflowRunner",
+]
 
 COMPUTE_ACCOUNT = "compute"
+#: Clock account for retry backoff waits.  This is *application* wait
+#: time caused by faults, kept out of every DaYu overhead account so the
+#: Figure 9/10 breakdowns still isolate pure tracing cost.
+RETRY_BACKOFF_ACCOUNT = "retry_backoff"
 
 
 class TaskRuntime:
@@ -86,6 +117,59 @@ class TaskRuntime:
         return f"{Cluster.local_prefix(self.node, tier)}/{filename}"
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner re-attempts failed tasks.
+
+    Attributes:
+        max_attempts: Total tries per task (1 = no retries).
+        backoff_base: Wait before the first retry, in simulated seconds.
+        backoff_factor: Exponential growth of the wait per further retry.
+        replace: Re-place a retry through the scheduler when the task's
+            node died (surviving nodes only); with False the retry stays
+            put and fails again immediately on a dead node.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    replace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Wait before ``attempt`` (attempt 2 waits the base delay)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff_base * self.backoff_factor ** (attempt - 2)
+
+
+@dataclass
+class TaskFailure:
+    """One task that still failed after its full retry budget."""
+
+    task: str
+    node: str
+    attempts: int
+    error: str
+    time: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "node": self.node,
+            "attempts": self.attempts,
+            "error": self.error,
+            "time": self.time,
+        }
+
+
 @dataclass
 class StageResult:
     """Timing of one executed stage."""
@@ -94,10 +178,34 @@ class StageResult:
     wall_time: float
     task_durations: Dict[str, float] = field(default_factory=dict)
     placement: Dict[str, str] = field(default_factory=dict)
+    #: Tasks lost after retries (best-effort degradation or an abort).
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
+    #: Total attempts beyond the first across the stage's tasks.
+    retries: int = 0
+    #: True when the stage aborted the workflow (non-best-effort failure);
+    #: the remaining fields then cover the completed portion.
+    aborted: bool = False
 
     @property
     def total_work(self) -> float:
         return sum(self.task_durations.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Lost at least one task (but may still have finished)."""
+        return bool(self.failures)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_time": self.wall_time,
+            "task_durations": dict(self.task_durations),
+            "placement": dict(self.placement),
+            "failures": {t: f.to_json_dict()
+                         for t, f in self.failures.items()},
+            "retries": self.retries,
+            "aborted": self.aborted,
+        }
 
 
 @dataclass
@@ -119,11 +227,39 @@ class WorkflowResult:
                 return s
         raise KeyError(f"no stage named {name!r}")
 
+    @property
+    def failures(self) -> Dict[str, TaskFailure]:
+        """Every lost task across all stages."""
+        out: Dict[str, TaskFailure] = {}
+        for s in self.stage_results:
+            out.update(s.failures)
+        return out
+
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.stage_results)
+
+    @property
+    def degraded(self) -> bool:
+        return any(s.degraded for s in self.stage_results)
+
     def speedup_over(self, baseline: "WorkflowResult") -> float:
         """``baseline.wall_time / self.wall_time``."""
         if self.wall_time <= 0:
             raise ValueError("cannot compute speedup of a zero-time run")
         return baseline.wall_time / self.wall_time
+
+    def to_json_dict(self) -> dict:
+        """Deterministic JSON form (the fixed-seed replay gate compares
+        two of these byte-for-byte)."""
+        return {
+            "workflow": self.workflow,
+            "wall_time": self.wall_time,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "stages": [s.to_json_dict() for s in self.stage_results],
+            "tasks_profiled": sorted(self.profiles),
+        }
 
 
 class WorkflowRunner:
@@ -133,6 +269,10 @@ class WorkflowRunner:
         cluster: The simulated cluster.
         mapper: The Data Semantic Mapper collecting per-task profiles.
         scheduler: Placement policy (default round-robin).
+        retry_policy: Re-attempt failed tasks (default: fail fast).
+        faults: Optional :class:`repro.faults.FaultInjector`; the runner
+            polls it at stage/task/backoff boundaries so scheduled node
+            deaths land at their simulated times.
     """
 
     def __init__(
@@ -141,6 +281,8 @@ class WorkflowRunner:
         mapper: DataSemanticMapper,
         scheduler: Optional[Scheduler] = None,
         path_resolver: Optional[Callable[[str, str, str], str]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults=None,
     ) -> None:
         self.cluster = cluster
         self.mapper = mapper
@@ -148,22 +290,59 @@ class WorkflowRunner:
         #: Optional ``(path, mode, node) -> path`` hook applied to every
         #: task open — the transparent-caching integration point.
         self.path_resolver = path_resolver
+        self.retry_policy = retry_policy
+        self.faults = faults
+        #: The (possibly partial) result of the most recent :meth:`run` —
+        #: still populated when the run aborted mid-workflow.
+        self.last_result: Optional[WorkflowResult] = None
 
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def _monitor(self):
+        return getattr(self.mapper, "monitor", None)
+
+    def _poll_faults(self) -> None:
+        if self.faults is not None:
+            self.faults.poll()
+
+    def _replacement_node(self, stage: Stage, task: Task) -> str:
+        """A surviving node for a retry whose original node died."""
+        unpin = getattr(self.scheduler, "unpin", None)
+        if unpin is not None:
+            pinned = getattr(self.scheduler, "pins", {}).get(task.name)
+            if pinned is not None and not self.cluster.is_alive(pinned):
+                unpin(task.name)
+        fresh = self.scheduler.place(stage, self.cluster).get(task.name)
+        if fresh is not None and self.cluster.is_alive(fresh):
+            return fresh
+        return self.cluster.alive_node_names()[0]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def run(self, workflow: Workflow) -> WorkflowResult:
         workflow.validate()
         result = WorkflowResult(workflow=workflow.name)
-        for stage in workflow.stages:
-            result.stage_results.append(self._run_stage(stage))
-        result.profiles = dict(self.mapper.profiles)
+        self.last_result = result
+        try:
+            for stage in workflow.stages:
+                self._run_stage(stage, result)
+        finally:
+            # Even an aborted run keeps the profiles of every completed
+            # task — the partial result stays analyzable.
+            result.profiles = dict(self.mapper.profiles)
         return result
 
-    def _run_stage(self, stage: Stage) -> StageResult:
+    def _run_stage(self, stage: Stage, result: WorkflowResult) -> StageResult:
+        self._poll_faults()
         placement = self.scheduler.place(stage, self.cluster)
         missing = [t.name for t in stage.tasks if t.name not in placement]
         if missing:
             raise ValueError(f"scheduler left tasks unplaced: {missing}")
 
-        monitor = getattr(self.mapper, "monitor", None)
+        monitor = self._monitor
         if monitor is not None:
             from repro.monitor.events import StageStarted
 
@@ -175,34 +354,125 @@ class WorkflowRunner:
             for node in placement.values():
                 per_node[node] = per_node.get(node, 0) + 1
             self.cluster.set_stage_concurrency(per_node)
-        durations: Dict[str, float] = {}
+
+        stage_result = StageResult(
+            name=stage.name, wall_time=0.0, placement=placement)
+        # Appended up-front: an abort below still leaves the partial
+        # stage timings on the workflow result.
+        result.stage_results.append(stage_result)
+        abort: Optional[BaseException] = None
         try:
             for task in stage.tasks:
-                node = placement[task.name]
-                start = self.cluster.clock.now
+                duration, failure, cause = self._run_task(
+                    stage, task, placement, stage_result)
+                if failure is None:
+                    stage_result.task_durations[task.name] = duration
+                else:
+                    stage_result.failures[task.name] = failure
+                    if not stage.best_effort:
+                        abort = cause
+                        break
+        finally:
+            self.cluster.reset_concurrency()
+            durations = stage_result.task_durations
+            if stage.parallel:
+                stage_result.wall_time = max(durations.values(), default=0.0)
+            else:
+                stage_result.wall_time = sum(durations.values())
+            stage_result.aborted = abort is not None
+            if monitor is not None:
+                from repro.monitor.events import StageFinished
+
+                monitor.publish(StageFinished(
+                    time=self.cluster.clock.now, task=None, stage=stage.name,
+                    wall_time=stage_result.wall_time,
+                    failed=stage_result.aborted))
+        if abort is not None:
+            raise abort
+        return stage_result
+
+    def _run_task(
+        self,
+        stage: Stage,
+        task: Task,
+        placement: Dict[str, str],
+        stage_result: StageResult,
+    ):
+        """Run one task under the retry policy.
+
+        Returns ``(duration, None, None)`` on success or
+        ``(None, TaskFailure, original_exception)`` once the attempt
+        budget is spent.
+        """
+        policy = self.retry_policy or RetryPolicy(max_attempts=1)
+        monitor = self._monitor
+        clock = self.cluster.clock
+        node = placement[task.name]
+        last_exc: Optional[BaseException] = None
+        attempts = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            attempts = attempt
+            if attempt > 1:
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    clock.advance(delay, account=RETRY_BACKOFF_ACCOUNT)
+                self._poll_faults()
+                previous = node
+                if policy.replace and not self.cluster.is_alive(node):
+                    node = self._replacement_node(stage, task)
+                    placement[task.name] = node
+                stage_result.retries += 1
+                if monitor is not None:
+                    from repro.monitor.events import TaskRetried
+
+                    monitor.publish(TaskRetried(
+                        time=clock.now, task=task.name, attempt=attempt,
+                        backoff=delay, node=node, previous_node=previous))
+            else:
+                self._poll_faults()
+            final = attempt == policy.max_attempts
+            if not self.cluster.is_alive(node):
+                last_exc = FsError(
+                    f"task {task.name!r} placed on dead node {node!r}")
+                self._publish_failed(task.name, node, attempt, last_exc, final,
+                                     started=False)
+                continue
+            start = clock.now
+            try:
                 with self.mapper.task(task.name) as ctx:
                     runtime = TaskRuntime(self.cluster, ctx, task, node,
                                           path_resolver=self.path_resolver)
                     if task.compute_seconds:
                         runtime.compute(task.compute_seconds)
                     task.fn(runtime)
-                durations[task.name] = self.cluster.clock.now - start
-        finally:
-            self.cluster.reset_concurrency()
-
-        if stage.parallel:
-            wall = max(durations.values(), default=0.0)
-        else:
-            wall = sum(durations.values())
-        if monitor is not None:
-            from repro.monitor.events import StageFinished
-
-            monitor.publish(StageFinished(
-                time=self.cluster.clock.now, task=None, stage=stage.name,
-                wall_time=wall))
-        return StageResult(
-            name=stage.name,
-            wall_time=wall,
-            task_durations=durations,
-            placement=placement,
+            except Exception as exc:
+                last_exc = exc
+                self._publish_failed(task.name, node, attempt, exc, final)
+                continue
+            return clock.now - start, None, None
+        failure = TaskFailure(
+            task=task.name,
+            node=node,
+            attempts=attempts,
+            error=_describe(last_exc),
+            time=clock.now,
         )
+        return None, failure, last_exc
+
+    def _publish_failed(self, task: str, node: str, attempt: int,
+                        exc: BaseException, fatal: bool,
+                        started: bool = True) -> None:
+        monitor = self._monitor
+        if monitor is None:
+            return
+        from repro.monitor.events import TaskFailed
+
+        monitor.publish(TaskFailed(
+            time=self.cluster.clock.now, task=task, error=_describe(exc),
+            node=node, attempt=attempt, fatal=fatal, started=started))
+
+
+def _describe(exc: Optional[BaseException]) -> str:
+    if exc is None:
+        return ""
+    return f"{type(exc).__name__}: {exc}"

@@ -25,10 +25,12 @@ class Scheduler(Protocol):
 
 
 class RoundRobinScheduler:
-    """Spread tasks across nodes in order — the workload-agnostic baseline."""
+    """Spread tasks across live nodes in order — the workload-agnostic
+    baseline.  Dead nodes (fault injection) are skipped, which is also what
+    makes retry-with-re-placement land failed tasks on survivors."""
 
     def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
-        nodes: List[str] = cluster.node_names()
+        nodes: List[str] = cluster.alive_node_names()
         return {
             task.name: nodes[i % len(nodes)]
             for i, task in enumerate(stage.tasks)
@@ -56,6 +58,10 @@ class PinnedScheduler:
                 placement[task.name] = pin
         return placement
 
+    def unpin(self, task: str) -> None:
+        """Drop a pin (a retrying runner releases pins to dead nodes)."""
+        self.pins.pop(task, None)
+
 
 class CoLocateScheduler:
     """Place every task of the named stages on one node — DaYu's
@@ -73,7 +79,7 @@ class CoLocateScheduler:
 
     def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
         if stage.name in self.stages:
-            node = self.node or cluster.node_names()[0]
+            node = self.node or cluster.alive_node_names()[0]
             if node not in cluster.nodes:
                 raise KeyError(f"co-locate node {node!r} not in cluster")
             return {task.name: node for task in stage.tasks}

@@ -1,0 +1,153 @@
+"""The chaos workload: a fault-tolerant map/reduce pipeline.
+
+Purpose-built for exercising :mod:`repro.faults`: an ingest task writes a
+raw input file, a *best-effort* parallel stage partitions it, and a merge
+task folds the partitions back together — **recomputing** any partition
+whose file is missing, at a deliberately higher I/O cost (re-reading the
+raw slice ``recompute_reads`` times to model redoing the work without its
+cached intermediate).
+
+That recompute path is what makes retries *measurably* pay off: under a
+write-fault spec, lost partitions force the merge onto the expensive
+path, so
+
+    makespan(no retries)  >  makespan(retries)  ≈  makespan(fault-free)
+
+which the ``fault_resilience`` experiment and the CI gate assert.
+
+Partitions live under ``<data_dir>/parts/`` so a fault spec can target
+exactly the intermediate writes (``ops="write"`` on that prefix) without
+ever failing the ingest or the merge's reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.spec import DeviceFault, FaultSpec
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["ChaosParams", "build_chaos", "chaos_fault_spec"]
+
+
+@dataclass(frozen=True)
+class ChaosParams:
+    """Chaos pipeline configuration.
+
+    Attributes:
+        data_dir: Shared-mount directory for all files.
+        n_parts: Parallel partition tasks (the best-effort stage).
+        elems_per_part: f4 elements each partition covers.
+        recompute_reads: How many times the merge re-reads a lost
+            partition's raw slice — the modeled recompute premium.
+        compute_seconds: Modeled compute per partition task.
+    """
+
+    data_dir: str = "/beegfs/chaos"
+    n_parts: int = 6
+    elems_per_part: int = 4096
+    recompute_reads: int = 8
+    compute_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_parts < 1 or self.elems_per_part < 1:
+            raise ValueError("chaos parameters must be positive")
+        if self.recompute_reads < 1:
+            raise ValueError("recompute_reads must be >= 1")
+
+    @property
+    def raw_path(self) -> str:
+        return f"{self.data_dir}/raw.h5"
+
+    @property
+    def parts_dir(self) -> str:
+        return f"{self.data_dir}/parts"
+
+    def part_path(self, i: int) -> str:
+        return f"{self.parts_dir}/part_{i:03d}.h5"
+
+    @property
+    def merged_path(self) -> str:
+        return f"{self.data_dir}/merged.h5"
+
+
+def build_chaos(params: ChaosParams) -> Workflow:
+    """ingest → best-effort partition fan-out → merge-with-recompute."""
+    from repro.hdf5 import Selection
+
+    p = params
+
+    def ingest(rt: TaskRuntime) -> None:
+        rng = np.random.default_rng(0)
+        f = rt.open(p.raw_path, "w")
+        f.create_dataset(
+            "raw", shape=(p.n_parts * p.elems_per_part,), dtype="f4",
+            data=rng.random(p.n_parts * p.elems_per_part, dtype=np.float32),
+        )
+        f.close()
+
+    def partition(i: int):
+        def fn(rt: TaskRuntime) -> None:
+            raw = rt.open(p.raw_path, "r")
+            slab = raw["raw"].read(Selection.hyperslab(
+                ((i * p.elems_per_part, p.elems_per_part),)))
+            raw.close()
+            # Write-then-rename commit: an attempt killed mid-write leaves
+            # only a .tmp orphan, so the merge's existence check never
+            # mistakes a partial file for a finished partition.
+            tmp = p.part_path(i) + ".tmp"
+            out = rt.open(tmp, "w")
+            out.create_dataset("part", shape=(p.elems_per_part,),
+                               dtype="f4", data=np.sort(slab))
+            out.close()
+            rt.fs.rename(tmp, p.part_path(i))
+        return fn
+
+    def merge(rt: TaskRuntime) -> None:
+        out = rt.open(p.merged_path, "w")
+        totals = np.zeros(p.n_parts, dtype=np.float32)
+        for i in range(p.n_parts):
+            part_path = p.part_path(i)
+            if rt.fs.exists(part_path):
+                f = rt.open(part_path, "r")
+                totals[i] = float(np.sum(f["part"].read()))
+                f.close()
+            else:
+                # The partition was lost (best-effort degradation):
+                # recompute it from raw, paying the recompute premium of
+                # repeated slice reads.
+                raw = rt.open(p.raw_path, "r")
+                sel = Selection.hyperslab(
+                    ((i * p.elems_per_part, p.elems_per_part),))
+                for _ in range(p.recompute_reads):
+                    slab = raw["raw"].read(sel)
+                raw.close()
+                totals[i] = float(np.sum(np.sort(slab)))
+        out.create_dataset("totals", shape=(p.n_parts,), dtype="f4",
+                           data=totals)
+        out.close()
+
+    return Workflow("chaos", [
+        Stage("ingest", [Task("chaos_ingest", ingest)], parallel=False),
+        Stage("partition", [
+            Task(f"chaos_part_{i:03d}", partition(i),
+                 compute_seconds=p.compute_seconds)
+            for i in range(p.n_parts)
+        ], best_effort=True),
+        Stage("merge", [Task("chaos_merge", merge)], parallel=False),
+    ])
+
+
+def chaos_fault_spec(params: ChaosParams | None = None,
+                     rate: float = 0.08, seed: int = 7) -> FaultSpec:
+    """The matching fault plan: transient *write* errors on the partition
+    directory — ingest and every read stay clean, so a no-retry run still
+    completes (degraded) and the makespan comparison is apples-to-apples.
+    """
+    p = params or ChaosParams()
+    return FaultSpec(seed=seed, device_faults=(
+        DeviceFault(p.parts_dir, "transient", rate=rate, ops="write"),
+    ))

@@ -21,7 +21,7 @@ from repro.workflow.model import Workflow
 __all__ = ["WORKLOADS", "build_workload"]
 
 WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "h5bench-shared",
-             "climate", "corner", "corner-hazards")
+             "climate", "corner", "corner-hazards", "chaos")
 
 Prepare = Optional[Callable]
 
@@ -92,4 +92,13 @@ def build_workload(name: str, scale: float = 1.0) -> Tuple[Workflow, Prepare]:
             seed_hazards=(name == "corner-hazards"),
         )
         return build_corner_case(params), None
+    if name == "chaos":
+        from repro.workloads.chaos import ChaosParams, build_chaos
+
+        params = ChaosParams(
+            data_dir="/beegfs/chaos",
+            n_parts=max(int(6 * scale), 2),
+            elems_per_part=max(int(4096 * scale), 64),
+        )
+        return build_chaos(params), None
     raise SystemExit(f"unknown workload {name!r}; choose from {WORKLOADS}")
