@@ -11,7 +11,6 @@ writes the before/after numbers to ``BENCH_analyzer.json`` at the repo
 root.
 """
 
-import json
 from pathlib import Path
 
 from repro.experiments.analyzer_scale import (
@@ -32,9 +31,9 @@ def test_analyzer_thousand_node_graph(run_once):
     assert result["html_bytes"] > 0
 
 
-def test_analyzer_scaleout_binary_parallel(run_once):
+def test_analyzer_scaleout_binary_parallel(run_once, write_bench_json):
     result = run_once(run_analyzer_scaleout)
-    BENCH_OUT.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    write_bench_json(BENCH_OUT, result)
     # The scale-out path must be a pure optimization: same graphs, byte
     # for byte, from a trace at least 5x smaller, at least 3x faster.
     assert result["identical_graphs"]

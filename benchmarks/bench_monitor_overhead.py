@@ -19,21 +19,20 @@ from repro.experiments.monitor_overhead import (
 BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_monitor.json"
 
 
-def test_monitor_event_throughput(run_once):
+def test_monitor_event_throughput(run_once, write_bench_json):
     result = run_once(run_monitor_throughput)
     # Floor set ~2 orders of magnitude under observed rates: a regression
     # that trips it means per-event cost exploded, not noise.
     assert result["events_per_second"] > 10_000
-    BENCH_OUT.write_text(json.dumps(
-        {"throughput": result}, indent=2, sort_keys=True) + "\n")
+    write_bench_json(BENCH_OUT, {"throughput": result})
 
 
-def test_monitor_workflow_overhead(run_once):
+def test_monitor_workflow_overhead(run_once, write_bench_json):
     result = run_once(run_monitor_overhead)
     merged = {"throughput": json.loads(BENCH_OUT.read_text())["throughput"],
               "workflow_overhead": result} if BENCH_OUT.exists() else \
              {"workflow_overhead": result}
-    BENCH_OUT.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    write_bench_json(BENCH_OUT, merged)
     assert result["sdg_nodes"] >= 1000
     assert result["identical_graphs"]
     assert result["reconciles"]

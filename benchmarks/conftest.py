@@ -7,7 +7,31 @@ benchmark (``rounds=1``) — the interesting output is the *result table*
 run-to-run variance.
 """
 
+import json
+
 import pytest
+
+
+def _write_bench_json(path, payload) -> None:
+    """Write a ``BENCH_*.json`` result file as strict JSON, file-only.
+
+    The bench numbers go to the *file*, never stdout/stderr — shell
+    wrappers (e.g. conda's ``auto_activate_base`` banner) pollute streams,
+    and downstream gates parse these files mechanically.  The write is
+    verified by re-reading and parsing: a mangled file fails the
+    benchmark here, not the consumer later.
+    """
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    reread = json.loads(path.read_text(encoding="utf-8"))
+    assert reread == json.loads(json.dumps(payload)), (
+        f"{path} did not round-trip as strict JSON")
+
+
+@pytest.fixture()
+def write_bench_json():
+    """The strict ``BENCH_*.json`` writer, as a fixture."""
+    return _write_bench_json
 
 
 @pytest.fixture()

@@ -160,9 +160,12 @@ def _ensure_node(g: nx.DiGraph, node: str, kind: NodeKind, label: str, **attrs) 
         g.add_node(node, kind=kind.value, label=label, volume=0, **attrs)
 
 
-def _bump_edge(g: nx.DiGraph, u: str, v: str, stats: DatasetIoStats, op: str) -> None:
-    """Add/merge an edge carrying the given operation's share of ``stats``."""
-    delta = _edge_delta(stats, op)
+def _bump_edge(g: nx.DiGraph, u: str, v: str, op: str, delta: dict) -> None:
+    """Add/merge an edge carrying one contribution (see :func:`_edge_delta`).
+
+    ``delta`` is only read, never mutated — the columnar bulk path reuses
+    one delta dict for both SDG edges of an operation.
+    """
     if delta["count"] == 0 and delta["volume"] == 0:
         return
     data = g.get_edge_data(u, v)
@@ -283,9 +286,9 @@ class GraphBuilder:
                 f = file_node(stats.file)
                 _ensure_node(g, f, NodeKind.FILE, stats.file)
                 if stats.reads:
-                    _bump_edge(g, f, t, stats, "read")
+                    _bump_edge(g, f, t, "read", _edge_delta(stats, "read"))
                 if stats.writes:
-                    _bump_edge(g, t, f, stats, "write")
+                    _bump_edge(g, t, f, "write", _edge_delta(stats, "write"))
             return
         for stats in profile.dataset_stats:
             f = file_node(stats.file)
@@ -294,12 +297,94 @@ class GraphBuilder:
             label = stats.data_object.lstrip("/") or stats.data_object
             _ensure_node(g, d, NodeKind.DATASET, label, file=stats.file)
             if stats.reads:
-                _bump_edge(g, f, d, stats, "read")
-                _bump_edge(g, d, t, stats, "read")
+                delta = _edge_delta(stats, "read")
+                _bump_edge(g, f, d, "read", delta)
+                _bump_edge(g, d, t, "read", delta)
             if stats.writes:
-                _bump_edge(g, t, d, stats, "write")
-                _bump_edge(g, d, f, stats, "write")
+                delta = _edge_delta(stats, "write")
+                _bump_edge(g, t, d, "write", delta)
+                _bump_edge(g, d, f, "write", delta)
             if self.with_regions:
+                _wire_regions(g, stats, d, f, self._pages_per_region,
+                              self.region_bytes)
+
+    def add_stats_columns(self, task: str, start: float, end: float,
+                          cols) -> None:
+        """Fold one profile's joined-stats *columns* into the graph.
+
+        The bulk path for columnar traces: ``cols`` is a
+        :class:`repro.mapper.columnar.StatsColumns` (parallel per-row
+        lists) and edge contributions are assembled straight from the
+        arrays — no :class:`DatasetIoStats` rows are materialized except,
+        when ``with_regions`` is set, the transient slices region wiring
+        needs.  Feeding the same profiles in the same order as
+        :meth:`add_profile` produces a byte-identical graph.
+        """
+        g = self.graph
+        t = task_node(task)
+        _ensure_node(g, t, NodeKind.TASK, task, start=start, end=end,
+                     order=self._seq)
+        self._seq += 1
+        is_ftg = self.kind == "ftg"
+        files, objects = cols.file, cols.data_object
+        for i in range(len(files)):
+            reads, writes = cols.reads[i], cols.writes[i]
+            file = files[i]
+            f = file_node(file)
+            _ensure_node(g, f, NodeKind.FILE, file)
+
+            def delta(count: int, volume: int, i: int = i) -> dict:
+                return {
+                    "count": count,
+                    "volume": volume,
+                    "data_ops": cols.data_ops[i],
+                    "data_bytes": cols.data_bytes[i],
+                    "metadata_ops": cols.metadata_ops[i],
+                    "metadata_bytes": cols.metadata_bytes[i],
+                    "start": cols.first_start[i],
+                    "end": cols.last_end[i],
+                    "_io_times": [cols.io_time[i]],
+                }
+
+            if is_ftg:
+                if reads:
+                    _bump_edge(g, f, t, "read",
+                               delta(reads, cols.bytes_read[i]))
+                if writes:
+                    _bump_edge(g, t, f, "write",
+                               delta(writes, cols.bytes_written[i]))
+                continue
+            obj = objects[i]
+            d = dataset_node(file, obj)
+            label = obj.lstrip("/") or obj
+            _ensure_node(g, d, NodeKind.DATASET, label, file=file)
+            if reads:
+                rd = delta(reads, cols.bytes_read[i])
+                _bump_edge(g, f, d, "read", rd)
+                _bump_edge(g, d, t, "read", rd)
+            if writes:
+                wd = delta(writes, cols.bytes_written[i])
+                _bump_edge(g, t, d, "write", wd)
+                _bump_edge(g, d, f, "write", wd)
+            if self.with_regions:
+                if cols.region_runs is None:
+                    raise ValueError(
+                        "with_regions build needs StatsColumns decoded "
+                        "with region runs")
+                stats = DatasetIoStats(
+                    task=task, file=file, data_object=obj,
+                    reads=reads, writes=writes,
+                    bytes_read=cols.bytes_read[i],
+                    bytes_written=cols.bytes_written[i],
+                    data_ops=cols.data_ops[i],
+                    data_bytes=cols.data_bytes[i],
+                    metadata_ops=cols.metadata_ops[i],
+                    metadata_bytes=cols.metadata_bytes[i],
+                    io_time=cols.io_time[i],
+                    first_start=cols.first_start[i],
+                    last_end=cols.last_end[i],
+                )
+                stats.set_region_runs(cols.region_runs[i])
                 _wire_regions(g, stats, d, f, self._pages_per_region,
                               self.region_bytes)
 
@@ -483,11 +568,13 @@ def _wire_regions(
             region=(lo, hi),
         )
         if wants_write:
-            _bump_edge(g, d, r, part, "write")
-            _bump_edge(g, r, f, part, "write")
+            delta = _edge_delta(part, "write")
+            _bump_edge(g, d, r, "write", delta)
+            _bump_edge(g, r, f, "write", delta)
         if wants_read:
-            _bump_edge(g, f, r, part, "read")
-            _bump_edge(g, r, d, part, "read")
+            delta = _edge_delta(part, "read")
+            _bump_edge(g, f, r, "read", delta)
+            _bump_edge(g, r, d, "read", delta)
 
 
 def _strip_direct_dataset_file_edges(g: nx.DiGraph) -> None:

@@ -41,7 +41,7 @@ from repro.analyzer.graphs import (
     merge_edge_stats,
 )
 from repro.mapper.mapper import TaskProfile
-from repro.mapper.persist import load_profile_path, trace_paths
+from repro.mapper.persist import load_profiles_path, trace_paths
 
 from typing import TYPE_CHECKING
 
@@ -76,8 +76,9 @@ def merge_graph_inplace(target: nx.DiGraph, source: nx.DiGraph) -> nx.DiGraph:
 
 
 def _load_shard(paths: Sequence[str], with_io_records: bool) -> List[TaskProfile]:
-    return [load_profile_path(p, with_io_records=with_io_records)
-            for p in paths]
+    return [profile for p in paths
+            for profile in load_profiles_path(
+                p, with_io_records=with_io_records)]
 
 
 def _build_shard(
@@ -163,6 +164,17 @@ class ParallelAnalyzer:
     # ------------------------------------------------------------------
     # Sharding
     # ------------------------------------------------------------------
+    @property
+    def inline(self) -> bool:
+        """True when every fan-out point must run in-process.
+
+        ``--jobs 1`` means *no pool spawn, ever* — on single-core CI
+        runners the process startup would dwarf the work.  All fan-out
+        paths (:meth:`load`, :meth:`_build`, :meth:`lint`, :meth:`diff`)
+        route through :meth:`_fan_out` or check this flag directly.
+        """
+        return self.max_workers <= 1
+
     def _chunks(self, items: Sequence) -> List[Sequence]:
         size = self.shard_size or max(1, math.ceil(len(items) / self.max_workers))
         return [items[i:i + size] for i in range(0, len(items), size)]
@@ -170,7 +182,7 @@ class ParallelAnalyzer:
     def _fan_out(self, worker, shards: List[Sequence]) -> List:
         """Run ``worker`` over shards — pooled, or in-process when a pool
         cannot help (one worker / one shard)."""
-        if self.max_workers <= 1 or len(shards) <= 1:
+        if self.inline or len(shards) <= 1:
             return [worker(shard) for shard in shards]
         from concurrent.futures import ProcessPoolExecutor
 
@@ -181,10 +193,14 @@ class ParallelAnalyzer:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def load(self, directory: str) -> List[TaskProfile]:
+    def load(self, directory: str,
+             trace_format: str = "auto") -> List[TaskProfile]:
         """Load every saved profile under a host directory, in parallel,
-        ordered by task start time (execution order)."""
-        paths = trace_paths(directory)
+        ordered by task start time (execution order).  Formats are
+        detected from magic bytes, so mixed directories work without
+        flags; ``trace_format`` restricts to one format when given.
+        Columnar run files are flattened into their profiles."""
+        paths = trace_paths(directory, trace_format=trace_format)
         loaded = self._fan_out(
             partial(_load_shard, with_io_records=self.with_io_records),
             self._chunks(paths),
@@ -205,7 +221,7 @@ class ParallelAnalyzer:
     ) -> nx.DiGraph:
         ordered = _ordered_profiles(profiles, task_order)
         shards = self._chunks(ordered)
-        if self.max_workers <= 1 or len(shards) <= 1:
+        if self.inline or len(shards) <= 1:
             builder = GraphBuilder(kind, **options)
             builder.add_profiles(ordered)
             return builder.build(copy=False)
@@ -283,6 +299,103 @@ class ParallelAnalyzer:
         findings.sort(key=Finding.sort_key)
         return LintReport(findings=findings,
                           tasks=sorted(p.task for p in profiles))
+
+    def lint_run(
+        self,
+        source: str,
+        config: Optional["LintConfig"] = None,
+        stats_out: Optional[dict] = None,
+    ) -> "LintReport":
+        """Lint columnar traces with page-stats predicate pushdown.
+
+        ``source`` is a ``.dayuc`` file (single trace or compacted run)
+        or a directory of them.  Rules that declare a ``pushdown``
+        predicate are skipped — per group for profile-scoped rules, for
+        the whole run for workflow-scoped ones — whenever the chunk
+        footer statistics prove they cannot fire; the surviving rules see
+        exactly what :meth:`lint` would show them, so the report (and its
+        finding fingerprints) is identical to the row path's.  When every
+        workflow rule is pruned the cross-task index and happens-before
+        ordering are never built at all.
+
+        Runs in-process: the whole point is to *not* touch most of the
+        data, so there is nothing worth shipping to a pool.  Pass
+        ``stats_out`` (a dict) to receive skip counters.
+        """
+        import os as _os
+
+        from repro.lint.context import (
+            build_index,
+            compute_ordering,
+            summarize_profile,
+        )
+        from repro.lint.engine import LintReport
+        from repro.lint.findings import Finding
+        from repro.lint.rules import LintConfig
+        from repro.mapper.columnar import (
+            COLUMNAR_TRACE_SUFFIX,
+            GroupStatsView,
+            RunReader,
+            RunStatsView,
+        )
+
+        config = config or LintConfig()
+        if _os.path.isdir(source):
+            paths = sorted(
+                _os.path.join(source, name)
+                for name in _os.listdir(source)
+                if name.endswith(COLUMNAR_TRACE_SUFFIX))
+        else:
+            paths = [source]
+        readers = [RunReader.open(p) for p in paths]
+        try:
+            groups = sorted((g for r in readers for g in r.groups),
+                            key=lambda g: g.start)
+            profile_rules = config.enabled_rules(scope="profile")
+            evaluated = skipped = 0
+            run_view = RunStatsView.over(groups)
+            surviving = []
+            for r in config.enabled_rules(scope="workflow"):
+                if r.pushdown is not None and not r.pushdown(run_view,
+                                                             config):
+                    skipped += 1
+                else:
+                    surviving.append(r)
+            findings: List = []
+            profiles = []
+            summaries = []
+            for group in groups:
+                profile = group.to_profile(
+                    with_io_records=self.with_io_records)
+                profiles.append(profile)
+                if surviving:
+                    summaries.append(
+                        summarize_profile(profile, config.page_size))
+                view = GroupStatsView(group)
+                for r in profile_rules:
+                    if r.pushdown is not None and not r.pushdown(view,
+                                                                 config):
+                        skipped += 1
+                        continue
+                    evaluated += 1
+                    findings.extend(r.check(profile, config))
+            if surviving:
+                index = build_index(summaries)
+                ordering = compute_ordering(profiles)
+                for r in surviving:
+                    evaluated += 1
+                    findings.extend(r.check(index, ordering, config))
+            if stats_out is not None:
+                stats_out["rules_evaluated"] = evaluated
+                stats_out["rules_skipped"] = skipped
+                stats_out["ordering_built"] = bool(surviving)
+                stats_out["n_groups"] = len(groups)
+            findings.sort(key=Finding.sort_key)
+            return LintReport(findings=findings,
+                              tasks=sorted(p.task for p in profiles))
+        finally:
+            for r in readers:
+                r.close()
 
     def diff(
         self,

@@ -46,10 +46,12 @@ def run_main(argv: List[str] | None = None) -> int:
                         help="workload scale multiplier (default 1.0)")
     parser.add_argument("--nodes", type=int, default=2,
                         help="simulated cluster nodes")
-    parser.add_argument("--trace-format", choices=("json", "binary"),
+    parser.add_argument("--trace-format",
+                        choices=("json", "binary", "columnar"),
                         default="json",
-                        help="saved profile format: JSON interchange or the "
-                             "compact binary codec (default json)")
+                        help="saved profile format: JSON interchange, the "
+                             "compact binary codec, or the footer-indexed "
+                             "columnar analytics form (default json)")
     parser.add_argument("--monitor", action="store_true",
                         help="attach the live monitor (streaming lint "
                              "alerts print as they fire; see dayu-monitor "
@@ -133,9 +135,19 @@ def analyze_main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument("traces",
                         help="directory of saved task profiles "
-                             "(*.json and/or *.dayu)")
+                             "(*.json, *.dayu and/or *.dayuc)")
     parser.add_argument("--out", default="graphs",
                         help="output directory for HTML/DOT graphs")
+    parser.add_argument("--trace-format",
+                        choices=("auto", "json", "binary", "columnar"),
+                        default="auto",
+                        help="restrict to one trace format, detected by "
+                             "magic bytes (default auto: mixed-format "
+                             "directories analyze without flags)")
+    parser.add_argument("--graph-json", action="store_true",
+                        help="also write canonical ftg.json/sdg.json "
+                             "(byte-stable across serial, sharded and "
+                             "columnar builds — diffable)")
     parser.add_argument("--regions", action="store_true",
                         help="add file-address-region nodes to the SDG")
     parser.add_argument("--region-bytes", type=int, default=65536)
@@ -161,9 +173,11 @@ def analyze_main(argv: List[str] | None = None) -> int:
     from repro.analyzer import ParallelAnalyzer
 
     analyzer = ParallelAnalyzer(max_workers=args.jobs)
-    profiles = analyzer.load(args.traces)
+    profiles = analyzer.load(args.traces, trace_format=args.trace_format)
     if not profiles:
-        print(f"no saved profiles found in {args.traces!r}", file=sys.stderr)
+        what = ("saved profiles" if args.trace_format == "auto"
+                else f"{args.trace_format} profiles")
+        print(f"no {what} found in {args.traces!r}", file=sys.stderr)
         return 1
     print(f"Loaded {len(profiles)} task profile(s) from {args.traces}/")
 
@@ -184,6 +198,12 @@ def analyze_main(argv: List[str] | None = None) -> int:
     for name, graph in (("ftg", ftg), ("sdg", sdg)):
         (out / f"{name}.html").write_text(to_html(graph, title=f"DaYu {name.upper()}"))
         (out / f"{name}.dot").write_text(to_dot(graph, title=name))
+    if args.graph_json:
+        from repro.analyzer.serialize import graph_to_json
+
+        for name, graph in (("ftg", ftg), ("sdg", sdg)):
+            (out / f"{name}.json").write_text(graph_to_json(graph) + "\n")
+        print(f"Wrote {out}/ftg.json, {out}/sdg.json")
     print(f"FTG: {ftg.number_of_nodes()} nodes / {ftg.number_of_edges()} edges; "
           f"SDG: {sdg.number_of_nodes()} nodes / {sdg.number_of_edges()} edges")
     print(f"Wrote {out}/ftg.html, {out}/sdg.html (+ .dot)")

@@ -76,6 +76,11 @@ def _parse_args(argv):
                         help="load per-operation records for byte-exact "
                              "extents and the full DY3xx sanitizer "
                              "(slower on large traces)")
+    parser.add_argument("--pushdown", action="store_true",
+                        help="columnar traces only: skip rules whose page "
+                             "statistics prove they cannot fire, without "
+                             "decoding the chunks (same findings, same "
+                             "fingerprints)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list every registered rule and exit")
     args = parser.parse_args(argv)
@@ -83,6 +88,8 @@ def _parse_args(argv):
         parser.error("--jobs must be >= 1")
     if args.static and args.diff:
         parser.error("--static and --diff are mutually exclusive")
+    if args.pushdown and (args.static or args.diff):
+        parser.error("--pushdown applies to trace linting only")
     if args.static and args.traces:
         parser.error("--static lints a workflow definition; "
                      "it takes no traces directory")
@@ -140,6 +147,20 @@ def lint_main(argv: List[str] | None = None) -> int:
 
         workflow, _prepare = build_workload(args.static, args.scale)
         report = lint_workflow(workflow, config)
+    elif args.pushdown:
+        from repro.analyzer import ParallelAnalyzer
+
+        analyzer = ParallelAnalyzer(max_workers=args.jobs,
+                                    with_io_records=args.with_io_records)
+        pd_stats: dict = {}
+        report = analyzer.lint_run(args.traces, config, stats_out=pd_stats)
+        if not pd_stats.get("n_groups"):
+            print(f"no columnar profiles found in {args.traces!r} "
+                  "(--pushdown reads *.dayuc traces)", file=sys.stderr)
+            return 2
+        print(f"pushdown: {pd_stats['rules_skipped']} rule evaluation(s) "
+              f"skipped, {pd_stats['rules_evaluated']} run across "
+              f"{pd_stats['n_groups']} profile(s)", file=sys.stderr)
     else:
         from repro.analyzer import ParallelAnalyzer
 

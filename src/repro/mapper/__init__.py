@@ -17,6 +17,9 @@ profiler), per task:
 - :mod:`~repro.mapper.overhead` — overhead accounting (Figures 9 and 10).
 - :mod:`~repro.mapper.codec` — the compact binary trace format (the
   storage form of Figure 9d; JSON remains the interchange form).
+- :mod:`~repro.mapper.columnar` — the columnar analytics form (column
+  chunks + page statistics behind a footer index; ``dayu-compact`` merges
+  per-task traces into one run file).
 """
 
 from repro.mapper.codec import (
@@ -25,6 +28,15 @@ from repro.mapper.codec import (
     encode_profile,
     read_profile,
     write_profile,
+)
+from repro.mapper.columnar import (
+    COLUMNAR_TRACE_SUFFIX,
+    RunReader,
+    compact_profiles,
+    decode_columnar,
+    decode_run,
+    encode_columnar,
+    encode_run,
 )
 from repro.mapper.config import DaYuConfig
 from repro.mapper.mapper import DataSemanticMapper, TaskContext, TaskProfile
@@ -35,7 +47,9 @@ from repro.mapper.persist import (
     load_profiles,
     load_profiles_from_dir,
     load_profiles_from_host_dir,
+    load_profiles_path,
     profile_from_json_dict,
+    sniff_trace_format,
 )
 from repro.mapper.stats import FILE_METADATA_OBJECT, DatasetIoStats, map_characteristics
 
@@ -55,9 +69,18 @@ __all__ = [
     "load_profiles",
     "load_profiles_from_dir",
     "load_profiles_from_host_dir",
+    "load_profiles_path",
+    "sniff_trace_format",
     "BINARY_TRACE_SUFFIX",
     "encode_profile",
     "decode_profile",
     "write_profile",
     "read_profile",
+    "COLUMNAR_TRACE_SUFFIX",
+    "encode_columnar",
+    "decode_columnar",
+    "encode_run",
+    "decode_run",
+    "compact_profiles",
+    "RunReader",
 ]

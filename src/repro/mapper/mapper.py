@@ -76,6 +76,12 @@ class TaskProfile:
         """The compact binary storage form (:mod:`repro.mapper.codec`)."""
         return codec.encode_profile(self)
 
+    def serialize_columnar(self) -> bytes:
+        """The columnar analytics form (:mod:`repro.mapper.columnar`)."""
+        from repro.mapper import columnar
+
+        return columnar.encode_columnar(self)
+
     @property
     def storage_bytes(self) -> int:
         """Size of the persisted JSON trace."""
@@ -245,6 +251,11 @@ class DataSemanticMapper:
         fmt = trace_format or self.config.trace_format
         if fmt == "binary":
             return codec.BINARY_TRACE_SUFFIX, profile.serialize_binary()
+        if fmt == "columnar":
+            from repro.mapper import columnar
+
+            return (columnar.COLUMNAR_TRACE_SUFFIX,
+                    profile.serialize_columnar())
         return ".json", profile.serialize()
 
     def save(self, fs: SimFS, trace_format: str | None = None) -> List[str]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from typing import List
 
-from repro.mapper import codec
+from repro.mapper import codec, columnar
 from repro.mapper.mapper import TaskProfile
 from repro.mapper.stats import DatasetIoStats
 from repro.posix.simfs import SimFS
@@ -31,15 +31,21 @@ from repro.vol.tracer import DataObjectProfile
 
 __all__ = [
     "profile_from_json_dict",
+    "sniff_trace_format",
+    "sniff_trace_format_path",
     "load_profile",
     "load_profile_path",
     "load_profiles",
+    "load_profiles_path",
     "load_profiles_from_dir",
     "load_profiles_from_host_dir",
 ]
 
-#: Extensions recognized as saved task profiles.
-TRACE_SUFFIXES = (".json", codec.BINARY_TRACE_SUFFIX)
+#: Extensions recognized as saved task profiles.  ``.dayuc`` files may be
+#: single-profile traces or multi-profile compacted runs; the
+#: ``load_profiles*`` loaders flatten either.
+TRACE_SUFFIXES = (".json", codec.BINARY_TRACE_SUFFIX,
+                  columnar.COLUMNAR_TRACE_SUFFIX)
 
 
 def _object_profile_from(d: dict) -> DataObjectProfile:
@@ -140,10 +146,14 @@ def profile_from_json_dict(payload: dict,
 
 
 def load_profile(data: bytes | str, with_io_records: bool = True) -> TaskProfile:
-    """Parse one serialized profile — binary or JSON, sniffed from the
-    payload."""
+    """Parse one serialized profile — row binary, columnar, or JSON,
+    sniffed from the payload.  A multi-profile columnar run file is an
+    error here; use :func:`load_profiles_path` to flatten those."""
     if isinstance(data, bytes) and codec.is_binary_trace(data):
         return codec.decode_profile(data, with_io_records=with_io_records)
+    if isinstance(data, bytes) and columnar.is_columnar_trace(data):
+        return columnar.decode_columnar(data,
+                                        with_io_records=with_io_records)
     if isinstance(data, bytes):
         data = data.decode()
     return profile_from_json_dict(json.loads(data),
@@ -151,11 +161,25 @@ def load_profile(data: bytes | str, with_io_records: bool = True) -> TaskProfile
 
 
 def load_profile_path(path, with_io_records: bool = True) -> TaskProfile:
-    """Load one saved profile from a host path (either format)."""
+    """Load one saved profile from a host path (any format)."""
     from pathlib import Path
 
     return load_profile(Path(path).read_bytes(),
                         with_io_records=with_io_records)
+
+
+def load_profiles_path(path, with_io_records: bool = True) -> List[TaskProfile]:
+    """Load every profile a host trace file holds (any format).
+
+    JSON and row-binary traces hold exactly one; a columnar ``.dayuc``
+    file may be a compacted run holding many.
+    """
+    from pathlib import Path
+
+    data = Path(path).read_bytes()
+    if columnar.is_columnar_trace(data):
+        return columnar.decode_run(data, with_io_records=with_io_records)
+    return [load_profile(data, with_io_records=with_io_records)]
 
 
 def load_profiles(blobs, with_io_records: bool = True) -> List[TaskProfile]:
@@ -163,29 +187,60 @@ def load_profiles(blobs, with_io_records: bool = True) -> List[TaskProfile]:
     return [load_profile(b, with_io_records=with_io_records) for b in blobs]
 
 
-def trace_paths(directory: str) -> List[str]:
-    """Saved profile paths (both formats) under a host directory, sorted.
+def sniff_trace_format(head: bytes) -> str:
+    """Classify a trace payload by its magic bytes.
 
-    A missing directory yields no paths (callers report "no profiles"
-    rather than a traceback)."""
+    ``"binary"`` for the row codec (``DYU1``), ``"columnar"`` for the
+    column-chunk form (``DYC1``), ``"json"`` otherwise.  Four bytes of
+    the payload suffice.
+    """
+    if codec.is_binary_trace(head):
+        return "binary"
+    if columnar.is_columnar_trace(head):
+        return "columnar"
+    return "json"
+
+
+def sniff_trace_format_path(path) -> str:
+    """Classify a saved trace file by reading only its magic bytes."""
+    with open(path, "rb") as fh:
+        return sniff_trace_format(fh.read(4))
+
+
+def trace_paths(directory: str, trace_format: str = "auto") -> List[str]:
+    """Saved profile paths (any format) under a host directory, sorted.
+
+    ``trace_format`` restricts to one on-disk format, classified by magic
+    bytes — not by suffix — so mislabelled files are filtered correctly;
+    the default ``"auto"`` accepts everything.  A missing directory
+    yields no paths (callers report "no profiles" rather than a
+    traceback)."""
     from pathlib import Path
 
+    if trace_format not in ("auto", "json", "binary", "columnar"):
+        raise ValueError(f"bad trace_format {trace_format!r}: use 'auto', "
+                         "'json', 'binary' or 'columnar'")
     base = Path(directory)
     if not base.is_dir():
         return []
-    return sorted(
+    paths = sorted(
         str(p) for p in base.iterdir() if p.suffix in TRACE_SUFFIXES
     )
+    if trace_format == "auto":
+        return paths
+    return [p for p in paths if sniff_trace_format_path(p) == trace_format]
 
 
 def load_profiles_from_host_dir(
     directory: str, with_io_records: bool = True
 ) -> List[TaskProfile]:
-    """Load every saved profile (``*.json`` / ``*.dayu``) from a real
-    (host) directory, ordered by task start time.  This is what the
-    ``dayu-analyze`` CLI consumes."""
-    profiles = [load_profile_path(p, with_io_records=with_io_records)
-                for p in trace_paths(directory)]
+    """Load every saved profile (``*.json`` / ``*.dayu`` / ``*.dayuc``)
+    from a real (host) directory, ordered by task start time.  This is
+    what the ``dayu-analyze`` CLI consumes; compacted run files are
+    flattened."""
+    profiles = [p for path in trace_paths(directory)
+                for p in load_profiles_path(
+                    path, with_io_records=with_io_records)]
     profiles.sort(key=lambda p: p.span.start)
     return profiles
 
@@ -201,6 +256,11 @@ def load_profiles_from_dir(fs: SimFS, directory: str,
         fd = fs.open(path, "r")
         raw = fs.read(fd, fs.file_size(fd))
         fs.close(fd)
-        profiles.append(load_profile(raw, with_io_records=with_io_records))
+        if isinstance(raw, bytes) and columnar.is_columnar_trace(raw):
+            profiles.extend(
+                columnar.decode_run(raw, with_io_records=with_io_records))
+        else:
+            profiles.append(
+                load_profile(raw, with_io_records=with_io_records))
     profiles.sort(key=lambda p: p.span.start)
     return profiles
