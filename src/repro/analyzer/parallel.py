@@ -272,16 +272,26 @@ class ParallelAnalyzer:
         self,
         profiles: Sequence[TaskProfile],
         config: Optional["LintConfig"] = None,
+        attempts: Optional[Dict[str, int]] = None,
     ) -> "LintReport":
         """Sharded :func:`~repro.lint.engine.lint_profiles` — same report.
 
         Profile-scoped rules (the DY3xx sanitizer and per-task DY1xx
         checks) shard across the worker pool together with the per-profile
         cross-task digests; only the small findings and digests travel
-        back, and the workflow-scoped rules run in-process over them.
+        back, and the workflow- and race-scoped rules run in-process over
+        them.  Race rules reuse the worker-computed summaries, so the
+        report (and its fingerprints) is byte-identical to the serial
+        :func:`~repro.lint.engine.lint_profiles`.  ``attempts`` feeds the
+        DY505 retry-race rule.
         """
-        from repro.lint.engine import LintReport, run_workflow_rules
+        from repro.lint.engine import (
+            LintReport,
+            run_race_rules,
+            run_workflow_rules,
+        )
         from repro.lint.findings import Finding
+        from repro.lint.race import build_trace_race_context
         from repro.lint.rules import LintConfig
 
         config = config or LintConfig()
@@ -296,6 +306,11 @@ class ParallelAnalyzer:
                 summaries.append(summary)
         findings.extend(
             run_workflow_rules(profiles, config, summaries=summaries))
+        if config.enabled_rules(scope="race"):
+            ctx = build_trace_race_context(profiles, config,
+                                           summaries=summaries,
+                                           attempts=attempts)
+            findings.extend(run_race_rules(ctx, config))
         findings.sort(key=Finding.sort_key)
         return LintReport(findings=findings,
                           tasks=sorted(p.task for p in profiles))
@@ -305,6 +320,7 @@ class ParallelAnalyzer:
         source: str,
         config: Optional["LintConfig"] = None,
         stats_out: Optional[dict] = None,
+        attempts: Optional[Dict[str, int]] = None,
     ) -> "LintReport":
         """Lint columnar traces with page-stats predicate pushdown.
 
@@ -361,6 +377,17 @@ class ParallelAnalyzer:
                     skipped += 1
                 else:
                     surviving.append(r)
+            # Race-scoped rules push down over the same whole-run view:
+            # a run whose page statistics show no two tasks ever wrote
+            # the same data object cannot hold a DY501, etc.
+            surviving_race = []
+            for r in config.enabled_rules(scope="race"):
+                if r.pushdown is not None and not r.pushdown(run_view,
+                                                             config):
+                    skipped += 1
+                else:
+                    surviving_race.append(r)
+            need_summaries = bool(surviving or surviving_race)
             findings: List = []
             profiles = []
             summaries = []
@@ -368,7 +395,7 @@ class ParallelAnalyzer:
                 profile = group.to_profile(
                     with_io_records=self.with_io_records)
                 profiles.append(profile)
-                if surviving:
+                if need_summaries:
                     summaries.append(
                         summarize_profile(profile, config.page_size))
                 view = GroupStatsView(group)
@@ -385,6 +412,15 @@ class ParallelAnalyzer:
                 for r in surviving:
                     evaluated += 1
                     findings.extend(r.check(index, ordering, config))
+            if surviving_race:
+                from repro.lint.race import build_trace_race_context
+
+                ctx = build_trace_race_context(profiles, config,
+                                               summaries=summaries,
+                                               attempts=attempts)
+                for r in surviving_race:
+                    evaluated += 1
+                    findings.extend(r.check(ctx, config))
             if stats_out is not None:
                 stats_out["rules_evaluated"] = evaluated
                 stats_out["rules_skipped"] = skipped

@@ -13,7 +13,11 @@ FTG/SDG are built from:
 - **DY40x** pre-run contract rules — fire from the workflow definition
   alone, over declared + AST-inferred access contracts (no traces);
 - **DY45x** contract drift — the differential join of contracts against
-  observed traces.
+  observed traces;
+- **DY5xx** happens-before races (opt-in: ``--races`` / ``--select
+  DY5*``) — vector-clock analysis under dependency-only vs as-executed
+  orderings, schedule-sensitivity reports, and concrete reorder
+  witnesses for every conviction.
 
 Typical use::
 
@@ -55,8 +59,17 @@ from repro.lint.engine import (
     run_contract_rules,
     run_drift_rules,
     run_profile_rules,
+    run_race_rules,
     run_workflow_rules,
     save_baseline,
+)
+from repro.lint.hb import HbOrder, IntervalSet, reorder_witness
+from repro.lint.race import (
+    RaceContext,
+    build_static_race_context,
+    build_trace_race_context,
+    replay_witness,
+    sensitivity_report_from_findings,
 )
 from repro.lint.predict import (
     StaticContext,
@@ -93,6 +106,15 @@ __all__ = [
     "run_workflow_rules",
     "run_contract_rules",
     "run_drift_rules",
+    "run_race_rules",
+    "HbOrder",
+    "IntervalSet",
+    "reorder_witness",
+    "RaceContext",
+    "build_trace_race_context",
+    "build_static_race_context",
+    "replay_witness",
+    "sensitivity_report_from_findings",
     "StaticContext",
     "build_static_context",
     "build_predicted_sdg",

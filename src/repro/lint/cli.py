@@ -5,10 +5,13 @@ Examples::
     dayu-lint traces/                         # human-readable findings
     dayu-lint traces/ --format sarif --out lint.sarif
     dayu-lint traces/ --disable DY1 --jobs 8  # hazards+sanitizer only
+    dayu-lint traces/ --select 'DY5*' --ignore 'DY2*'   # family globs
     dayu-lint traces/ --write-baseline .dayu-lint-baseline
     dayu-lint traces/ --baseline .dayu-lint-baseline   # fail on NEW errors
     dayu-lint --static corner-hazards         # pre-run DY40x, no traces
     dayu-lint traces/ --diff ddmd             # DY45x contract drift
+    dayu-lint traces/ --races --attempts run.json      # DY5xx + DY505
+    dayu-lint --static racy-pipeline --races --sensitivity-out sens.json
 
 ``--static WORKLOAD`` lints the named bundled workflow *definition*
 through the DY40x contract rules — nothing is executed and no traces
@@ -16,10 +19,21 @@ are read.  ``--diff WORKLOAD`` joins an existing trace directory
 against the same workflow's access contracts through the DY45x drift
 rules.  Both resolve workload names (and ``--scale``) through
 :mod:`repro.workloads.registry`, so the contracts describe exactly the
-workflow ``dayu-run`` would execute.
+workflow ``dayu-run`` would execute.  ``--races`` opts in the DY5xx
+happens-before race family (equivalent to ``--select 'DY5*'``) in every
+mode — post-hoc over row or columnar traces, or pre-run with
+``--static``.
 
-Exit status: 0 when no (non-suppressed) error-severity findings remain,
-1 when new errors exist, 2 on usage problems (no traces found).
+Exit status (same table in every mode — plain, ``--static``, ``--diff``,
+``--races``, ``--pushdown``):
+
+====  ===========================================================
+code  meaning
+====  ===========================================================
+0     clean: no (non-suppressed) error-severity findings
+1     new error-severity findings remain after the baseline
+2     usage error, unknown workload, or missing/unreadable traces
+====  ===========================================================
 """
 
 from __future__ import annotations
@@ -53,14 +67,27 @@ def _parse_args(argv):
                         default="text", help="report format (default text)")
     parser.add_argument("--out",
                         help="write the report to a file instead of stdout")
-    parser.add_argument("--enable", action="append", default=[],
-                        metavar="CODE",
-                        help="enable a rule or family by code/prefix "
-                             "(e.g. DY105, DY1); repeatable")
-    parser.add_argument("--disable", action="append", default=[],
-                        metavar="CODE",
-                        help="disable a rule or family by code/prefix; "
-                             "repeatable, wins over --enable")
+    parser.add_argument("--enable", "--select", action="append", default=[],
+                        metavar="CODE", dest="enable",
+                        help="enable rules by code, prefix, or glob "
+                             "(e.g. DY105, DY1, 'DY5*'); repeatable; "
+                             "--select is an alias")
+    parser.add_argument("--disable", "--ignore", action="append", default=[],
+                        metavar="CODE", dest="disable",
+                        help="disable rules by code, prefix, or glob; "
+                             "repeatable, wins over --enable/--select; "
+                             "--ignore is an alias")
+    parser.add_argument("--races", action="store_true",
+                        help="opt in the DY5xx happens-before race rules "
+                             "(same as --select 'DY5*'); works post-hoc "
+                             "and with --static")
+    parser.add_argument("--attempts", metavar="PATH",
+                        help="run-result JSON with per-task attempt counts "
+                             "(dayu-run output or a flat {task: n} map); "
+                             "feeds the DY505 retry-race rule")
+    parser.add_argument("--sensitivity-out", metavar="PATH",
+                        help="write the DY504 schedule-sensitivity report "
+                             "(dayu-sensitivity/v1 JSON) to PATH")
     parser.add_argument("--baseline",
                         help="baseline file of accepted finding "
                              "fingerprints to suppress")
@@ -110,6 +137,26 @@ def _emit(text: str, out_path) -> None:
         sys.stdout.write(text)
 
 
+def _load_attempts(path: str) -> dict:
+    """Per-task attempt counts from a run-result JSON.
+
+    Accepts the ``dayu-run`` result document (``stages[].attempts``) or
+    a flat ``{task: attempts}`` object.
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and "stages" in doc:
+        out: dict = {}
+        for stage in doc["stages"]:
+            out.update(stage.get("attempts", {}))
+        return {t: int(n) for t, n in out.items()}
+    if isinstance(doc, dict):
+        return {t: int(n) for t, n in doc.items()}
+    raise ValueError(f"{path}: not a run result or attempts map")
+
+
 def lint_main(argv: List[str] | None = None) -> int:
     """Entry point of ``dayu-lint``."""
     args = _parse_args(argv)
@@ -131,9 +178,10 @@ def lint_main(argv: List[str] | None = None) -> int:
                   f"{r.scope:<8} {r.name}: {r.description}")
         return 0
 
+    enable = tuple(args.enable) + (("DY5*",) if args.races else ())
     try:
         config = LintConfig(
-            enable=tuple(args.enable),
+            enable=enable,
             disable=tuple(args.disable),
             page_size=args.page_size,
         )
@@ -141,19 +189,48 @@ def lint_main(argv: List[str] | None = None) -> int:
         print(f"dayu-lint: {exc}", file=sys.stderr)
         return 2
 
-    if args.static:
-        from repro.lint import lint_workflow
+    attempts = None
+    if args.attempts:
+        try:
+            attempts = _load_attempts(args.attempts)
+        except (OSError, ValueError) as exc:
+            print(f"dayu-lint: cannot read --attempts: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    from repro.mapper.persist import UnknownTraceFormat
+
+    def _workload(name: str):
         from repro.workloads.registry import build_workload
 
-        workflow, _prepare = build_workload(args.static, args.scale)
-        report = lint_workflow(workflow, config)
+        try:
+            return build_workload(name, args.scale)
+        except SystemExit as exc:
+            # The registry raises SystemExit with a message for unknown
+            # names; map it onto the usage exit code.
+            print(f"dayu-lint: {exc}", file=sys.stderr)
+            return None
+
+    if args.static:
+        from repro.lint import lint_workflow
+
+        built = _workload(args.static)
+        if built is None:
+            return 2
+        report = lint_workflow(built[0], config)
     elif args.pushdown:
         from repro.analyzer import ParallelAnalyzer
 
         analyzer = ParallelAnalyzer(max_workers=args.jobs,
                                     with_io_records=args.with_io_records)
         pd_stats: dict = {}
-        report = analyzer.lint_run(args.traces, config, stats_out=pd_stats)
+        try:
+            report = analyzer.lint_run(args.traces, config,
+                                       stats_out=pd_stats,
+                                       attempts=attempts)
+        except UnknownTraceFormat as exc:
+            print(f"dayu-lint: {exc}", file=sys.stderr)
+            return 2
         if not pd_stats.get("n_groups"):
             print(f"no columnar profiles found in {args.traces!r} "
                   "(--pushdown reads *.dayuc traces)", file=sys.stderr)
@@ -166,23 +243,28 @@ def lint_main(argv: List[str] | None = None) -> int:
 
         analyzer = ParallelAnalyzer(max_workers=args.jobs,
                                     with_io_records=args.with_io_records)
-        profiles = analyzer.load(args.traces)
+        try:
+            profiles = analyzer.load(args.traces)
+        except UnknownTraceFormat as exc:
+            print(f"dayu-lint: {exc}", file=sys.stderr)
+            return 2
         if not profiles:
             print(f"no saved profiles found in {args.traces!r}",
                   file=sys.stderr)
             return 2
         if args.diff:
             from repro.lint import diff_profiles, extract_workflow_contracts
-            from repro.workloads.registry import build_workload
 
-            workflow, _prepare = build_workload(args.diff, args.scale)
-            contracts = extract_workflow_contracts(workflow).effective()
+            built = _workload(args.diff)
+            if built is None:
+                return 2
+            contracts = extract_workflow_contracts(built[0]).effective()
             if args.jobs > 1:
                 report = analyzer.diff(profiles, contracts, config)
             else:
                 report = diff_profiles(profiles, contracts, config)
         else:
-            report = analyzer.lint(profiles, config)
+            report = analyzer.lint(profiles, config, attempts=attempts)
 
     if args.write_baseline:
         save_baseline(args.write_baseline, report.findings)
@@ -191,6 +273,17 @@ def lint_main(argv: List[str] | None = None) -> int:
         return 0
     if args.baseline:
         report = report.apply_baseline(load_baseline(args.baseline))
+
+    if args.sensitivity_out:
+        import json
+
+        from repro.lint import sensitivity_report_from_findings
+
+        label = args.static or args.diff or ""
+        sens = sensitivity_report_from_findings(report.findings, label)
+        with open(args.sensitivity_out, "w", encoding="utf-8") as fh:
+            json.dump(sens, fh, indent=2)
+            fh.write("\n")
 
     if args.format == "json":
         _emit(report.to_json(), args.out)

@@ -100,6 +100,20 @@ class ObjectAccess:
     last_raw_write: Optional[float] = None
     read_extents: List[Tuple[int, int]] = field(default_factory=list)
     write_extents: List[Tuple[int, int]] = field(default_factory=list)
+    #: Object-scoped metadata traffic (resize/attribute/shape queries) —
+    #: a task with ``meta_writes`` but no raw writes is a pure metadata
+    #: mutator (the DY503 subject).  Approximate digests infer these from
+    #: pure-metadata stats rows.
+    meta_reads: int = 0
+    meta_writes: int = 0
+    #: Dataset *definitions* (dataless creates) — metadata production,
+    #: not mutation; kept apart so creators never read as DY503
+    #: mutators.  Only the static (contract-synthesized) digests can
+    #: distinguish these; traced metadata records fold them into
+    #: ``meta_writes``, where the creator's file-metadata writes order
+    #: it against readers in the dependency DAG instead.
+    meta_creates: int = 0
+    first_meta_write: Optional[float] = None
     vol_reads: int = 0
     vol_writes: int = 0
     vol_elements_read: int = 0
@@ -140,14 +154,23 @@ def _summary_from_records(profile: TaskProfile,
         obj = rec.data_object
         if obj is None or obj == FILE_METADATA_OBJECT:
             continue
-        if rec.access_type is not IoClass.RAW:
-            continue
         key = (rec.file, obj)
         acc = summary.objects.get(key)
         if acc is None:
             acc = ObjectAccess(task=profile.task, file=rec.file,
                                data_object=obj)
             summary.objects[key] = acc
+        if rec.access_type is not IoClass.RAW:
+            # Object-scoped metadata traffic (resize updates the shape
+            # message, shape queries read it) — tracked for DY503.
+            if rec.op == "write":
+                acc.meta_writes += 1
+                if acc.first_meta_write is None or \
+                        rec.start < acc.first_meta_write:
+                    acc.first_meta_write = rec.start
+            else:
+                acc.meta_reads += 1
+            continue
         extent = (rec.offset, rec.offset + rec.nbytes)
         if rec.op == "read":
             acc.raw_reads += 1
@@ -179,7 +202,19 @@ def _summary_from_stats(profile: TaskProfile, summary: ProfileSummary,
     for s in profile.dataset_stats:
         if s.writes:
             summary.files_written.add(s.file)
-        if s.data_object == FILE_METADATA_OBJECT or s.data_ops == 0:
+        if s.data_object == FILE_METADATA_OBJECT:
+            continue
+        if s.data_ops == 0:
+            # Pure-metadata row: no raw traffic, but resize/lookup
+            # activity against the object is still DY503-relevant.
+            if s.metadata_ops and (s.reads or s.writes):
+                acc = ObjectAccess(task=profile.task, file=s.file,
+                                   data_object=s.data_object, exact=False)
+                acc.meta_reads = s.reads
+                acc.meta_writes = s.writes
+                if s.writes:
+                    acc.first_meta_write = s.first_start
+                summary.objects[(s.file, s.data_object)] = acc
             continue
         acc = ObjectAccess(task=profile.task, file=s.file,
                            data_object=s.data_object, exact=False)

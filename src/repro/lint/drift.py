@@ -125,7 +125,9 @@ def _unperformed_contract(summary: ProfileSummary,
         return
     reported: Set[Tuple[str, str, str]] = set()
     for a in contract.accesses:
-        if a.op == "open" or a.conditional or not a.exact:
+        # "open" and "resize" are metadata-only — never required to
+        # materialize as data movement in the trace.
+        if a.op in ("open", "resize") or a.conditional or not a.exact:
             continue
         if a.op == "create" and not a.moves_data:
             op = "create"

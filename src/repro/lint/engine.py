@@ -41,6 +41,7 @@ from repro.lint import drift as _drift  # noqa: F401
 from repro.lint import hazards as _hazards  # noqa: F401
 from repro.lint import integrity as _integrity  # noqa: F401
 from repro.lint import prerun as _prerun  # noqa: F401
+from repro.lint import race as _race  # noqa: F401
 from repro.lint import semantic as _semantic  # noqa: F401
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "run_workflow_rules",
     "run_contract_rules",
     "run_drift_rules",
+    "run_race_rules",
     "load_baseline",
     "save_baseline",
     "parse_baseline",
@@ -151,14 +153,33 @@ def run_workflow_rules(profiles: Sequence[TaskProfile],
     return findings
 
 
+def run_race_rules(ctx, config: LintConfig) -> List[Finding]:
+    """Evaluate every enabled ``race``-scoped (DY5xx) rule over a
+    :class:`~repro.lint.race.RaceContext` — post-hoc or static."""
+    findings: List[Finding] = []
+    for r in config.enabled_rules(scope="race"):
+        findings.extend(r.check(ctx, config))
+    return findings
+
+
 def lint_profiles(profiles: Sequence[TaskProfile],
-                  config: Optional[LintConfig] = None) -> LintReport:
-    """Run all enabled rules over a workflow's task profiles (serially)."""
+                  config: Optional[LintConfig] = None,
+                  attempts: Optional[Dict[str, int]] = None) -> LintReport:
+    """Run all enabled rules over a workflow's task profiles (serially).
+
+    ``attempts`` carries the runner's per-task retry counts (from
+    ``WorkflowResult``); only the DY505 retry-race rule consumes it.
+    """
     config = config or LintConfig()
     findings: List[Finding] = []
     for p in profiles:
         findings.extend(run_profile_rules(p, config))
     findings.extend(run_workflow_rules(profiles, config))
+    if config.enabled_rules(scope="race"):
+        from repro.lint.race import build_trace_race_context
+
+        ctx = build_trace_race_context(profiles, config, attempts=attempts)
+        findings.extend(run_race_rules(ctx, config))
     findings.sort(key=Finding.sort_key)
     return LintReport(findings=findings,
                       tasks=sorted(p.task for p in profiles))
@@ -188,6 +209,11 @@ def lint_workflow(workflow, config: Optional[LintConfig] = None,
     config = config or LintConfig()
     ctx = build_static_context(workflow, contracts)
     findings = run_contract_rules(ctx, config)
+    if config.enabled_rules(scope="race"):
+        from repro.lint.race import build_static_race_context
+
+        race_ctx = build_static_race_context(ctx, config)
+        findings.extend(run_race_rules(race_ctx, config))
     findings.sort(key=Finding.sort_key)
     return LintReport(findings=findings,
                       tasks=sorted(t.name for t in workflow.all_tasks()))

@@ -252,8 +252,8 @@ def synthetic_profiles(ctx: StaticContext) -> List[TaskProfile]:
                 stats.bytes_written += volume
                 stats.data_ops += ops
                 stats.data_bytes += volume
-            elif a.op == "create":
-                stats.writes += ops  # dataset definition: metadata write
+            elif a.op in ("create", "resize"):
+                stats.writes += ops  # shape/definition: metadata write
                 stats.metadata_ops += ops
             else:  # "open" — metadata-only touch
                 stats.metadata_ops += ops

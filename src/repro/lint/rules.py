@@ -19,22 +19,30 @@ reused for a different meaning once shipped):
 - **DY45x — contract drift**: the differential join of contracts
   against observed traces (undeclared accesses, declared-but-never-
   performed I/O).
+- **DY5xx — happens-before races** (opt-in, ``--races`` / ``--select
+  DY5*``): vector-clock analysis under the *dependency-only* ordering —
+  conflicting accesses ordered only by stage barriers or observed timing
+  are convicted with a concrete reorder witness.
 
 Rules register themselves via :func:`rule`; importing
 :mod:`repro.lint.semantic`, :mod:`repro.lint.hazards`,
-:mod:`repro.lint.integrity`, :mod:`repro.lint.prerun` and
-:mod:`repro.lint.drift` populates the registry (package ``__init__``
-does this).  Each rule is ``profile``-scoped (evaluated per task profile,
-shardable across worker processes), ``workflow``-scoped (evaluated once
-over the cross-task :class:`~repro.lint.context.WorkflowIndex`),
-``contract``-scoped (evaluated once over the pre-run
-:class:`~repro.lint.predict.StaticContext`), or ``drift``-scoped
-(evaluated per task against its contract + traced summary, shardable).
+:mod:`repro.lint.integrity`, :mod:`repro.lint.prerun`,
+:mod:`repro.lint.drift` and :mod:`repro.lint.race` populates the
+registry (package ``__init__`` does this).  Each rule is
+``profile``-scoped (evaluated per task profile, shardable across worker
+processes), ``workflow``-scoped (evaluated once over the cross-task
+:class:`~repro.lint.context.WorkflowIndex`), ``contract``-scoped
+(evaluated once over the pre-run
+:class:`~repro.lint.predict.StaticContext`), ``drift``-scoped (evaluated
+per task against its contract + traced summary, shardable), or
+``race``-scoped (evaluated once over the dual happens-before
+:class:`~repro.lint.race.RaceContext`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.lint.findings import Severity
@@ -91,9 +99,9 @@ def rule(code: str, name: str, severity: Severity, scope: str,
          description: str, default_enabled: bool = True,
          pushdown: Optional[Callable] = None):
     """Class-less registration decorator for rule check functions."""
-    if scope not in ("profile", "workflow", "contract", "drift"):
+    if scope not in ("profile", "workflow", "contract", "drift", "race"):
         raise ValueError(f"bad rule scope {scope!r}")
-    if pushdown is not None and scope not in ("profile", "workflow"):
+    if pushdown is not None and scope not in ("profile", "workflow", "race"):
         raise ValueError(f"pushdown predicates only apply to traced "
                          f"scopes, not {scope!r}")
 
@@ -123,9 +131,13 @@ def get_rule(code: str) -> LintRule:
 class LintConfig:
     """Per-run rule selection and thresholds (picklable: plain fields).
 
-    ``enable``/``disable`` entries are codes or code prefixes — ``"DY2"``
-    selects the whole hazard family, ``"DY105"`` one rule.  ``disable``
-    wins over ``enable``; both win over each rule's ``default_enabled``.
+    ``enable``/``disable`` entries are codes, code prefixes, or shell-style
+    globs — ``"DY2"`` and ``"DY2*"`` both select the whole hazard family,
+    ``"DY105"`` one rule, ``"DY?05"`` every family's 05 rule.  Precedence
+    when selectors conflict: ``disable`` wins over ``enable`` (a rule
+    matched by both is off), and any explicit match wins over the rule's
+    ``default_enabled``.  Prefix and glob matches carry equal weight —
+    only which list matched decides.
     """
 
     enable: Tuple[str, ...] = ()
@@ -143,12 +155,18 @@ class LintConfig:
     #: DY407 threshold: a task re-opening the same file at least this many
     #: times is flagged as an open-in-loop anti-pattern.
     open_loop_min_opens: int = 8
+    #: DY5xx reorder witnesses longer than this many tasks are windowed
+    #: down to the racing region (full order elided, ``window`` recorded).
+    witness_max_tasks: int = 200
+    #: DY504 schedule-sensitivity reports keep at most this many
+    #: must-preserve edges in finding evidence (the count is always exact).
+    sensitivity_max_edges: int = 64
 
     def __post_init__(self) -> None:
         for sel in (*self.enable, *self.disable):
             if not sel.startswith("DY"):
                 raise ValueError(f"bad rule selector {sel!r}: "
-                                 "use a DYnnn code or DYn prefix")
+                                 "use a DYnnn code, DYn prefix, or DYn* glob")
         if self.page_size <= 0:
             raise ValueError("page_size must be positive")
         if self.small_io_min_ops < 1 or self.small_io_max_avg_bytes < 1:
@@ -156,10 +174,16 @@ class LintConfig:
         if self.open_loop_min_opens < 2:
             raise ValueError("open_loop_min_opens must be >= 2")
 
+    @staticmethod
+    def _matches(code: str, selector: str) -> bool:
+        if any(ch in selector for ch in "*?["):
+            return fnmatchcase(code, selector)
+        return code.startswith(selector)
+
     def is_enabled(self, r: LintRule) -> bool:
-        if any(r.code.startswith(sel) for sel in self.disable):
+        if any(self._matches(r.code, sel) for sel in self.disable):
             return False
-        if any(r.code.startswith(sel) for sel in self.enable):
+        if any(self._matches(r.code, sel) for sel in self.enable):
             return True
         return r.default_enabled
 

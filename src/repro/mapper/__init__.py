@@ -50,6 +50,7 @@ from repro.mapper.persist import (
     load_profiles_path,
     profile_from_json_dict,
     sniff_trace_format,
+    UnknownTraceFormat,
 )
 from repro.mapper.stats import FILE_METADATA_OBJECT, DatasetIoStats, map_characteristics
 
@@ -71,6 +72,7 @@ __all__ = [
     "load_profiles_from_host_dir",
     "load_profiles_path",
     "sniff_trace_format",
+    "UnknownTraceFormat",
     "BINARY_TRACE_SUFFIX",
     "encode_profile",
     "decode_profile",

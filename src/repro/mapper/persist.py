@@ -31,6 +31,7 @@ from repro.vol.tracer import DataObjectProfile
 
 __all__ = [
     "profile_from_json_dict",
+    "UnknownTraceFormat",
     "sniff_trace_format",
     "sniff_trace_format_path",
     "load_profile",
@@ -161,22 +162,30 @@ def load_profile(data: bytes | str, with_io_records: bool = True) -> TaskProfile
 
 
 def load_profile_path(path, with_io_records: bool = True) -> TaskProfile:
-    """Load one saved profile from a host path (any format)."""
+    """Load one saved profile from a host path (any format).
+
+    Raises :class:`UnknownTraceFormat` on files too short to carry the
+    format magic."""
     from pathlib import Path
 
-    return load_profile(Path(path).read_bytes(),
-                        with_io_records=with_io_records)
+    data = Path(path).read_bytes()
+    if len(data) < 4:
+        raise UnknownTraceFormat(str(path), len(data))
+    return load_profile(data, with_io_records=with_io_records)
 
 
 def load_profiles_path(path, with_io_records: bool = True) -> List[TaskProfile]:
     """Load every profile a host trace file holds (any format).
 
     JSON and row-binary traces hold exactly one; a columnar ``.dayuc``
-    file may be a compacted run holding many.
+    file may be a compacted run holding many.  Raises
+    :class:`UnknownTraceFormat` on files too short to carry the magic.
     """
     from pathlib import Path
 
     data = Path(path).read_bytes()
+    if len(data) < 4:
+        raise UnknownTraceFormat(str(path), len(data))
     if columnar.is_columnar_trace(data):
         return columnar.decode_run(data, with_io_records=with_io_records)
     return [load_profile(data, with_io_records=with_io_records)]
@@ -187,13 +196,32 @@ def load_profiles(blobs, with_io_records: bool = True) -> List[TaskProfile]:
     return [load_profile(b, with_io_records=with_io_records) for b in blobs]
 
 
-def sniff_trace_format(head: bytes) -> str:
+class UnknownTraceFormat(ValueError):
+    """A trace payload too short to classify (no room for magic bytes).
+
+    Carries the offending ``path`` ("<memory>" for in-memory payloads)
+    so batch loaders and the CLI can name the file instead of
+    misreporting a truncated trace as malformed JSON.
+    """
+
+    def __init__(self, path: str, size: int) -> None:
+        self.path = path
+        self.size = size
+        super().__init__(
+            f"{path}: {size} byte(s) is too short to be a DaYu trace "
+            "(need at least 4 bytes of magic; empty or truncated file?)")
+
+
+def sniff_trace_format(head: bytes, source: str = "<memory>") -> str:
     """Classify a trace payload by its magic bytes.
 
     ``"binary"`` for the row codec (``DYU1``), ``"columnar"`` for the
     column-chunk form (``DYC1``), ``"json"`` otherwise.  Four bytes of
-    the payload suffice.
+    the payload suffice; fewer raise :class:`UnknownTraceFormat` naming
+    ``source``.
     """
+    if len(head) < 4:
+        raise UnknownTraceFormat(source, len(head))
     if codec.is_binary_trace(head):
         return "binary"
     if columnar.is_columnar_trace(head):
@@ -202,9 +230,13 @@ def sniff_trace_format(head: bytes) -> str:
 
 
 def sniff_trace_format_path(path) -> str:
-    """Classify a saved trace file by reading only its magic bytes."""
+    """Classify a saved trace file by reading only its magic bytes.
+
+    Raises :class:`UnknownTraceFormat` (naming the path) on files
+    shorter than the four magic bytes — zero-length droppings from an
+    interrupted writer in particular."""
     with open(path, "rb") as fh:
-        return sniff_trace_format(fh.read(4))
+        return sniff_trace_format(fh.read(4), source=str(path))
 
 
 def trace_paths(directory: str, trace_format: str = "auto") -> List[str]:

@@ -64,6 +64,9 @@ class MonitorConfig:
     max_extents_per_access: int = 64
     #: Evaluate the streaming lint rules.
     stream_lint: bool = True
+    #: Also stream the opt-in DY501/502/503 happens-before race mirrors
+    #: (the DY5xx family is opt-in batch-side too; DY504/505 never stream).
+    stream_races: bool = False
 
 
 class WorkflowMonitor:
@@ -95,6 +98,7 @@ class WorkflowMonitor:
             self.streamlint = StreamLint(
                 max_extents_per_access=cfg.max_extents_per_access,
                 on_alert=self._alert_raised,
+                races=cfg.stream_races,
             )
             # Lossless: the happens-before mirror must see every recorded
             # operation to keep fingerprints aligned with the batch engine.

@@ -11,6 +11,14 @@ semantics exactly where that is possible with bounded state:
   an online mirror of :func:`repro.analyzer.ordering.dependency_dag`
   over the same recorded-operation subset the post-hoc engine would see.
 - **DY302** (invalid extents) — stateless per-record field validation.
+- **DY501 / DY502 / DY503** (dependency-only happens-before races) —
+  opt-in via ``races=True``: the same per-object state, joined under the
+  *dependency-only* oracle instead of the observed one, mirrors the
+  batch :mod:`repro.lint.race` convictions.  Streaming alerts carry no
+  reorder witness (witnesses need the whole DAG; only batch ships them)
+  and DY504/DY505 are not streamed (both are inherently whole-run) —
+  but since fingerprints cover code + subject + tasks, a streamed DY5xx
+  alert hashes identically to its batch conviction.
 
 Alerts carry :class:`~repro.lint.findings.Finding` objects, so their
 fingerprints are computed by the very same code as ``dayu-lint`` —
@@ -76,22 +84,34 @@ class _RawAccess:
     first_raw_read: Optional[float] = None
     first_raw_write: Optional[float] = None
     write_extents: List[Tuple[int, int]] = field(default_factory=list)
+    #: Tracked only in ``races`` mode (DY502 overlap discrimination).
+    read_extents: List[Tuple[int, int]] = field(default_factory=list)
+    #: Object-scoped metadata ops, tracked only in ``races`` mode (DY503).
+    meta_reads: int = 0
+    meta_writes: int = 0
     #: False once the extent cap collapsed the list to a bounding interval.
     extents_exact: bool = True
 
 
 class StreamLint:
-    """Online evaluator for the bounded-state lint subset (module doc)."""
+    """Online evaluator for the bounded-state lint subset (module doc).
+
+    ``races=True`` opts in the streaming DY501/502/503 mirrors (the
+    DY5xx family is opt-in batch-side too); DY504/DY505 are whole-run
+    analyses and never stream.
+    """
 
     def __init__(
         self,
         max_extents_per_access: int = 64,
         on_alert: Optional[Callable[[StreamAlert], None]] = None,
+        races: bool = False,
     ) -> None:
         if max_extents_per_access < 1:
             raise ValueError("max_extents_per_access must be >= 1")
         self.max_extents = max_extents_per_access
         self.on_alert = on_alert
+        self.races = races
         #: Alerts in emission order (including any later retracted).
         self.alerts: List[StreamAlert] = []
         # (task, file, object) -> ordering row over *recorded* ops.
@@ -156,6 +176,23 @@ class StreamLint:
         if obj is None or obj == FILE_METADATA_OBJECT:
             return
         if op.io_class is IoClass.METADATA:
+            if not self.races:
+                return
+            # Races mode also watches object-scoped metadata traffic:
+            # a resize/delete shows up as metadata writes tagged with
+            # the object — the DY503 subject.
+            accesses = self._objects.setdefault((op.file, obj), {})
+            acc = accesses.get(task)
+            if acc is None:
+                acc = accesses[task] = _RawAccess(task=task)
+            if op.op == "read":
+                fresh_kind = acc.meta_reads == 0
+                acc.meta_reads += 1
+            else:
+                fresh_kind = acc.meta_writes == 0
+                acc.meta_writes += 1
+            if fresh_kind and len(accesses) > 1:
+                self._scan_object(op, accesses)
             return
         accesses = self._objects.setdefault((op.file, obj), {})
         acc = accesses.get(task)
@@ -167,6 +204,13 @@ class StreamLint:
             acc.raw_reads += 1
             if acc.first_raw_read is None or op.start < acc.first_raw_read:
                 acc.first_raw_read = op.start
+            if self.races and op.nbytes > 0:
+                acc.read_extents = merge_extents(
+                    acc.read_extents + [(op.offset, op.offset + op.nbytes)])
+                if len(acc.read_extents) > self.max_extents:
+                    acc.read_extents = [(acc.read_extents[0][0],
+                                         acc.read_extents[-1][1])]
+                    acc.extents_exact = False
         else:
             fresh_kind = acc.raw_writes == 0
             acc.raw_writes += 1
@@ -182,10 +226,13 @@ class StreamLint:
         if fresh_kind and len(accesses) > 1:
             # A new (task, kind) touch is the only transition that can
             # create a hazard pair — re-scan just this object.
-            ordering = self._build_ordering()
-            for finding in self._object_findings(
-                    op.file, obj, accesses, ordering):
-                self._emit(finding, op.time)
+            self._scan_object(op, accesses)
+
+    def _scan_object(self, op: VfdOp, accesses: Dict[str, _RawAccess]) -> None:
+        ordering = self._build_ordering()
+        for finding in self._object_findings(
+                op.file, op.data_object, accesses, ordering):
+            self._emit(finding, op.time)
 
     def _emit(self, finding: Finding, time: float) -> None:
         if finding.fingerprint in self._fingerprints:
@@ -318,6 +365,118 @@ class StreamLint:
                         "overlap": list(overlap) if overlap else None,
                         "extent_precision": "byte" if exact else "bounded",
                     },
+                ))
+        if self.races:
+            out.extend(self._race_findings(file, obj, accs, ordering))
+        return out
+
+    # ------------------------------------------------------------------
+    # Streaming DY5xx mirrors (races mode)
+    # ------------------------------------------------------------------
+    def _race_overlap(self, a_ext, b_ext, exact):
+        overlap = extents_overlap(a_ext, b_ext)
+        if overlap is None:
+            severity = Severity.WARNING
+            detail = ("their byte extents are provably disjoint "
+                      "(collective partial-access pattern), but metadata "
+                      "updates still race" if exact else
+                      "their bounded extents are disjoint (exact extents "
+                      "unavailable)")
+            return severity, detail, None
+        lo, hi = overlap
+        gran = "bytes" if exact else "bytes (approximate)"
+        return (Severity.ERROR,
+                f"their accesses overlap at {gran} [{lo}, {hi})", overlap)
+
+    def _race_findings(
+        self,
+        file: str,
+        obj: str,
+        accs: List[_RawAccess],
+        ordering: nx.DiGraph,
+    ) -> List[Finding]:
+        """Streaming DY501/502/503: the batch pair scan, minus witnesses.
+
+        The ordering oracle here is the same dependency-DAG mirror the
+        DY2xx scan uses — which *is* the batch race context's
+        dependency-only relation, so a pair unordered here is unordered
+        there and the fingerprints (code + subject + tasks) coincide.
+        """
+        accs = sorted(accs, key=lambda a: a.task)
+        subject = f"{file}:{obj}"
+        out: List[Finding] = []
+        writers = [a for a in accs if a.raw_writes > 0]
+        readers = [a for a in accs if a.raw_reads > 0]
+        seen: Set[Tuple[str, str]] = set()
+        for i, a in enumerate(writers):  # DY501: unordered double write
+            for b in writers[i + 1:]:
+                pair = tuple(sorted((a.task, b.task)))
+                if pair in seen or self._ordered(ordering, a.task, b.task):
+                    continue
+                seen.add(pair)
+                exact = a.extents_exact and b.extents_exact
+                severity, detail, overlap = self._race_overlap(
+                    a.write_extents, b.write_extents, exact)
+                out.append(Finding(
+                    code="DY501", rule="hb-write-write-race",
+                    severity=severity, subject=subject, tasks=pair,
+                    message=(
+                        f"{a.task} and {b.task} both write {obj} in {file} "
+                        "with no dependency-only happens-before path; "
+                        f"{detail}"),
+                    evidence={"overlap": list(overlap) if overlap else None,
+                              "units": "bytes", "mode": "stream",
+                              "witness": None},
+                ))
+        seen = set()
+        for w_acc in writers:  # DY502: unordered read/write
+            for r_acc in readers:
+                if w_acc.task == r_acc.task:
+                    continue
+                pair = tuple(sorted((w_acc.task, r_acc.task)))
+                if pair in seen or self._ordered(
+                        ordering, w_acc.task, r_acc.task):
+                    continue
+                seen.add(pair)
+                exact = w_acc.extents_exact and r_acc.extents_exact
+                severity, detail, overlap = self._race_overlap(
+                    w_acc.write_extents, r_acc.read_extents, exact)
+                out.append(Finding(
+                    code="DY502", rule="hb-read-write-race",
+                    severity=severity, subject=subject, tasks=pair,
+                    message=(
+                        f"{r_acc.task} reads {obj} in {file} while "
+                        f"{w_acc.task} writes it, with no dependency-only "
+                        f"happens-before path; {detail}"),
+                    evidence={"overlap": list(overlap) if overlap else None,
+                              "units": "bytes", "mode": "stream",
+                              "witness": None},
+                ))
+        mutators = [a for a in accs if a.meta_writes and not a.raw_writes]
+        seen = set()
+        for m in mutators:  # DY503: metadata mutation vs any toucher
+            for t in accs:
+                if t.task == m.task:
+                    continue
+                if not (t.raw_reads or t.raw_writes or t.meta_reads
+                        or t.meta_writes):
+                    continue
+                pair = tuple(sorted((m.task, t.task)))
+                if pair in seen or self._ordered(ordering, m.task, t.task):
+                    continue
+                seen.add(pair)
+                how = "reads" if t.raw_reads or t.meta_reads else "writes"
+                out.append(Finding(
+                    code="DY503", rule="hb-metadata-race",
+                    severity=Severity.ERROR, subject=subject, tasks=pair,
+                    message=(
+                        f"{m.task} mutates the metadata of {obj} in {file} "
+                        f"(resize/delete/rename) while {t.task} {how} it, "
+                        "with no dependency-only happens-before path — the "
+                        f"shape or existence changes under {t.task}'s feet"),
+                    evidence={"mutator": m.task, "toucher": t.task,
+                              "meta_writes": m.meta_writes,
+                              "mode": "stream", "witness": None},
                 ))
         return out
 

@@ -115,8 +115,16 @@ class VolDataset:
 
     def resize(self, new_shape) -> None:
         """Resize a chunked dataset (metadata operation)."""
+        # Flush pending state first, then flush again inside the scope:
+        # the second flush writes only what the resize itself dirtied,
+        # so the shape-message update lands in the VFD trace tagged
+        # with this object (a concurrent reader races exactly that
+        # write — the DY503 subject) instead of anonymously at close.
+        inner_file = self._file.inner
+        inner_file.flush()
         with self._file.channel.object_scope(self._inner.name):
             self._inner.resize(new_shape)
+            inner_file.flush()
 
     def close(self) -> None:
         """Release the handle (optional; file close releases implicitly)."""

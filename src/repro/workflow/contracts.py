@@ -32,12 +32,13 @@ __all__ = [
     "reads",
     "writes",
     "opens",
+    "resizes",
     "validate_contract",
     "reconcile",
 ]
 
 #: Access operation kinds, in canonical report order.
-ACCESS_OPS = ("create", "read", "write", "open")
+ACCESS_OPS = ("create", "read", "write", "open", "resize")
 
 #: Inline bytes per element for the simulated HDF5 dtypes (vlen elements
 #: store a fixed-size heap reference inline; matches
@@ -72,8 +73,9 @@ class ContractAccess:
     Attributes:
         op: ``"create"`` (dataset definition; with ``elements`` > 0 the
             creation also writes the initial data), ``"read"`` /
-            ``"write"`` (raw data movement), or ``"open"`` (metadata-only
-            touch, e.g. a shape query).
+            ``"write"`` (raw data movement), ``"open"`` (metadata-only
+            touch, e.g. a shape query), or ``"resize"`` (metadata
+            mutation of an existing dataset's extent).
         file: File path the dataset lives in.
         dataset: Root-anchored object path (``"/contact_map"``).
         count: How many operations of this kind the task performs
@@ -204,6 +206,13 @@ def writes(file: str, dataset: str, elements: Optional[int] = None,
 def opens(file: str, dataset: str, **kwargs) -> ContractAccess:
     """Declare a metadata-only touch (open / shape query)."""
     return _access("open", file, dataset, **kwargs)
+
+
+def resizes(file: str, dataset: str, shape=None, **kwargs) -> ContractAccess:
+    """Declare a dataset resize — a metadata *mutation* (the shape
+    message changes under any concurrent reader's feet; DY503 subject).
+    ``shape`` is the new extent when statically known."""
+    return _access("resize", file, dataset, shape=shape, **kwargs)
 
 
 @dataclass

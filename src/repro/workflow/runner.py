@@ -180,6 +180,9 @@ class StageResult:
     placement: Dict[str, str] = field(default_factory=dict)
     #: Tasks lost after retries (best-effort degradation or an abort).
     failures: Dict[str, TaskFailure] = field(default_factory=dict)
+    #: Attempts each task consumed (1 = ran clean).  Fed to the DY505
+    #: retry-race rule via ``dayu-lint --attempts``.
+    attempts: Dict[str, int] = field(default_factory=dict)
     #: Total attempts beyond the first across the stage's tasks.
     retries: int = 0
     #: True when the stage aborted the workflow (non-best-effort failure);
@@ -203,6 +206,7 @@ class StageResult:
             "placement": dict(self.placement),
             "failures": {t: f.to_json_dict()
                          for t, f in self.failures.items()},
+            "attempts": dict(self.attempts),
             "retries": self.retries,
             "aborted": self.aborted,
         }
@@ -233,6 +237,14 @@ class WorkflowResult:
         out: Dict[str, TaskFailure] = {}
         for s in self.stage_results:
             out.update(s.failures)
+        return out
+
+    @property
+    def attempts(self) -> Dict[str, int]:
+        """Attempts each task consumed across all stages (1 = clean)."""
+        out: Dict[str, int] = {}
+        for s in self.stage_results:
+            out.update(s.attempts)
         return out
 
     @property
@@ -449,7 +461,9 @@ class WorkflowRunner:
                 last_exc = exc
                 self._publish_failed(task.name, node, attempt, exc, final)
                 continue
+            stage_result.attempts[task.name] = attempts
             return clock.now - start, None, None
+        stage_result.attempts[task.name] = attempts
         failure = TaskFailure(
             task=task.name,
             node=node,

@@ -21,7 +21,8 @@ from repro.workflow.model import Workflow
 __all__ = ["WORKLOADS", "build_workload"]
 
 WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "h5bench-shared",
-             "climate", "corner", "corner-hazards", "chaos")
+             "climate", "corner", "corner-hazards", "chaos",
+             "racy-pipeline")
 
 Prepare = Optional[Callable]
 
@@ -92,6 +93,15 @@ def build_workload(name: str, scale: float = 1.0) -> Tuple[Workflow, Prepare]:
             seed_hazards=(name == "corner-hazards"),
         )
         return build_corner_case(params), None
+    if name == "racy-pipeline":
+        from repro.workloads.racy_pipeline import (
+            RacyParams, build_racy_pipeline)
+
+        params = RacyParams(
+            data_dir="/beegfs/racy",
+            elems=max(int(1024 * scale), 8),
+        )
+        return build_racy_pipeline(params), None
     if name == "chaos":
         from repro.workloads.chaos import ChaosParams, build_chaos
 
