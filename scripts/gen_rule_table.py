@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate the README's rule table from the live lint registry.
+
+The table between the ``<!-- rule-table:begin -->`` and
+``<!-- rule-table:end -->`` markers in README.md is generated — code,
+name, severity, default enablement, and description all come from the
+registered :class:`~repro.lint.rules.LintRule` objects, so documentation
+cannot drift from the rules that actually run.
+
+Run:    python scripts/gen_rule_table.py            # rewrite in place
+Check:  python scripts/gen_rule_table.py --check    # exit 1 when stale
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BEGIN = "<!-- rule-table:begin -->"
+END = "<!-- rule-table:end -->"
+
+
+def render_table() -> str:
+    from repro.lint import all_rules
+
+    lines = [
+        "| Code  | Rule | Severity | Default | What it catches |",
+        "|-------|------|----------|---------|-----------------|",
+    ]
+    for r in all_rules():
+        desc = " ".join(r.description.split()).replace("|", "\\|")
+        default = "on" if r.default_enabled else "opt-in"
+        lines.append(f"| {r.code} | {r.name} | {r.severity.value} "
+                     f"| {default} | {desc} |")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    check = "--check" in argv
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text(encoding="utf-8")
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        print(f"gen_rule_table: markers {BEGIN!r} / {END!r} "
+              f"not found in {readme}", file=sys.stderr)
+        return 2
+    new = head + BEGIN + "\n" + render_table() + "\n" + END + tail
+    if check:
+        if new != text:
+            print("gen_rule_table: README.md rule table is stale against "
+                  "the rule registry; run "
+                  "`python scripts/gen_rule_table.py`", file=sys.stderr)
+            return 1
+        print("gen_rule_table: README.md rule table is up to date")
+        return 0
+    if new != text:
+        readme.write_text(new, encoding="utf-8")
+        print(f"gen_rule_table: rewrote the rule table in {readme}")
+    else:
+        print("gen_rule_table: rule table already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

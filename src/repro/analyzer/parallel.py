@@ -433,6 +433,104 @@ class ParallelAnalyzer:
             for r in readers:
                 r.close()
 
+    def diff_run(
+        self,
+        source: str,
+        contracts: Dict[str, object],
+        config: Optional["LintConfig"] = None,
+        stats_out: Optional[dict] = None,
+        cost=None,
+    ) -> "LintReport":
+        """Drift (and cost-prophet) linting over columnar traces.
+
+        The columnar sibling of :meth:`diff`: joins a ``.dayuc`` run (or
+        a directory of them) against ``contracts`` through the DY45x
+        drift rules.  When ``cost`` — a
+        :class:`~repro.lint.cost.CostContext` — is supplied, the DY60x
+        predicted-performance findings are appended and the DY65x
+        prediction-drift rules run against the traced groups, with
+        their pushdown predicates evaluated over the run footer view:
+        footers record exact spans and byte sums, so a run whose traces
+        provably match the prediction is cleared without decoding a
+        column.  Findings and fingerprints are byte-identical to the
+        row path's (:meth:`diff` plus
+        :func:`~repro.lint.engine.cost_findings`).
+
+        Runs in-process, like :meth:`lint_run`; pass ``stats_out`` (a
+        dict) to receive skip counters.
+        """
+        import os as _os
+
+        from repro.lint.context import summarize_profile
+        from repro.lint.engine import (
+            LintReport,
+            run_drift_rules,
+            run_perf_rules,
+        )
+        from repro.lint.findings import Finding
+        from repro.lint.rules import LintConfig
+        from repro.mapper.columnar import (
+            COLUMNAR_TRACE_SUFFIX,
+            RunReader,
+            RunStatsView,
+        )
+
+        config = config or LintConfig()
+        if _os.path.isdir(source):
+            paths = sorted(
+                _os.path.join(source, name)
+                for name in _os.listdir(source)
+                if name.endswith(COLUMNAR_TRACE_SUFFIX))
+        else:
+            paths = [source]
+        readers = [RunReader.open(p) for p in paths]
+        try:
+            groups = sorted((g for r in readers for g in r.groups),
+                            key=lambda g: g.start)
+            drift_rules = config.enabled_rules(scope="drift")
+            evaluated = skipped = 0
+            findings: List = []
+            profiles = []
+            for group in groups:
+                profile = group.to_profile(
+                    with_io_records=self.with_io_records)
+                profiles.append(profile)
+                summary = summarize_profile(profile, config.page_size)
+                contract = contracts.get(profile.task)
+                for r in drift_rules:
+                    evaluated += 1
+                    findings.extend(r.check(summary, contract, config))
+            if cost is not None:
+                for r in config.enabled_rules(scope="perf"):
+                    evaluated += 1
+                findings.extend(run_perf_rules(cost, config))
+                run_view = RunStatsView.over(groups)
+                surviving = []
+                for r in config.enabled_rules(scope="costdrift"):
+                    if (r.pushdown is not None
+                            and not r.pushdown(run_view, config,
+                                               cost.report)):
+                        skipped += 1
+                    else:
+                        surviving.append(r)
+                if surviving:
+                    from repro.lint.cost import build_cost_drift_context
+
+                    dctx = build_cost_drift_context(cost.report, profiles)
+                    for r in surviving:
+                        evaluated += 1
+                        findings.extend(r.check(dctx, config))
+            if stats_out is not None:
+                stats_out["rules_evaluated"] = evaluated
+                stats_out["rules_skipped"] = skipped
+                stats_out["n_groups"] = len(groups)
+            findings.sort(key=Finding.sort_key)
+            return LintReport(findings=findings,
+                              tasks=sorted(p.task for p in profiles))
+        finally:
+            for r in readers:
+                r.close()
+
     def diff(
         self,
         profiles: Sequence[TaskProfile],

@@ -1,17 +1,25 @@
 """The DaYu command-line toolset.
 
-Two entry points mirror the open-source tool's runtime/offline split:
+Three entry points mirror the open-source tool's runtime/offline split,
+plus the optimization loop the paper performed by hand:
 
 - ``dayu-run`` — execute one of the case-study workloads under DaYu
   profiling and save the per-task JSON profiles to a directory.
+  ``--plan`` executes a solved ``dayu-plan/v1`` placement instead of
+  the default round-robin one.
 - ``dayu-analyze`` — the offline Workflow Analyzer: load saved profiles,
   build the FTG/SDG (HTML + DOT), run the diagnostics, and print the
   findings with their optimization recommendations.
+- ``dayu-plan`` — solve a fig11-style locality placement for a bundled
+  workload from the static cost model, entirely pre-run, and write the
+  executable plan artifact.
 
 Examples::
 
     dayu-run pyflextrkr --out traces/
     dayu-analyze traces/ --out graphs/ --regions
+    dayu-plan pyflextrkr --out plan.json
+    dayu-run pyflextrkr --plan plan.json --out traces-planned/
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from pathlib import Path
 from typing import List
 
 from repro.analyzer import to_dot, to_html
+from repro.cli_common import positive_int
 from repro.diagnostics import diagnose
 from repro.experiments.common import fresh_env
 from repro.guidelines import recommend
@@ -29,7 +38,7 @@ from repro.guidelines import recommend
 from repro.workloads.registry import WORKLOADS as _WORKLOADS
 from repro.workloads.registry import build_workload as _build_workload
 
-__all__ = ["run_main", "analyze_main"]
+__all__ = ["run_main", "analyze_main", "plan_main"]
 
 
 def run_main(argv: List[str] | None = None) -> int:
@@ -44,8 +53,13 @@ def run_main(argv: List[str] | None = None) -> int:
                         help="host directory for the saved profiles")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale multiplier (default 1.0)")
-    parser.add_argument("--nodes", type=int, default=2,
+    parser.add_argument("--nodes", type=positive_int, default=2,
                         help="simulated cluster nodes")
+    parser.add_argument("--plan", metavar="PLAN.json",
+                        help="execute a solved dayu-plan/v1 placement: "
+                             "pin tasks to the plan's nodes, localize "
+                             "its files, and stage pre-existing inputs "
+                             "onto their planned tiers (see dayu-plan)")
     parser.add_argument("--trace-format",
                         choices=("json", "binary", "columnar"),
                         default="json",
@@ -70,16 +84,52 @@ def run_main(argv: List[str] | None = None) -> int:
                              "failures, retries) as JSON")
     args = parser.parse_args(argv)
 
+    plan = scheduler = None
+    if args.plan:
+        from repro.workflow.plan import (
+            PlacementPlan,
+            plan_path_resolver,
+            plan_scheduler,
+            stage_in_plan,
+        )
+
+        try:
+            plan = PlacementPlan.load(args.plan)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"dayu-run: cannot load --plan: {exc}", file=sys.stderr)
+            return 2
+        if plan.workload and plan.workload != args.workload:
+            print(f"dayu-run: plan {args.plan} was solved for "
+                  f"{plan.workload!r}, not {args.workload!r}",
+                  file=sys.stderr)
+            return 2
+        if plan.n_nodes > args.nodes:
+            print(f"dayu-run: plan {args.plan} needs {plan.n_nodes} "
+                  f"node(s); raise --nodes", file=sys.stderr)
+            return 2
+        if plan.scale != args.scale:
+            print(f"dayu-run: note: plan was solved at scale "
+                  f"{plan.scale:g}, running at {args.scale:g}",
+                  file=sys.stderr)
+        scheduler = plan_scheduler(plan)
+
     if args.monitor:
         from repro.monitor.cli import _print_alert
 
-        env = fresh_env(n_nodes=args.nodes, monitor=True,
-                        on_alert=_print_alert)
+        env = fresh_env(n_nodes=args.nodes, scheduler=scheduler,
+                        monitor=True, on_alert=_print_alert)
     else:
-        env = fresh_env(n_nodes=args.nodes)
+        env = fresh_env(n_nodes=args.nodes, scheduler=scheduler)
+    if plan is not None:
+        env.runner.path_resolver = plan_path_resolver(plan)
     workflow, prepare = _build_workload(args.workload, args.scale)
     if prepare is not None:
         prepare(env.cluster)
+    if plan is not None:
+        staged = stage_in_plan(env.cluster, plan)
+        print(f"Plan {args.plan}: {len(plan.tasks)} task pin(s), "
+              f"{len(plan.files)} localized file(s), "
+              f"stage-in {staged:.3f} simulated seconds")
 
     injector = None
     if args.faults:
@@ -160,15 +210,13 @@ def analyze_main(argv: List[str] | None = None) -> int:
                              "producer/consumer relations")
     parser.add_argument("--advisor", action="store_true",
                         help="print the severity-triaged advisor report")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=positive_int, default=1,
                         help="worker processes for loading and graph "
                              "construction (default 1 = serial)")
     parser.add_argument("--lint", action="store_true",
                         help="also run dayu-lint in the same sharded pass "
                              "and write lint.json next to the graphs")
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
 
     from repro.analyzer import ParallelAnalyzer
 
@@ -232,6 +280,57 @@ def analyze_main(argv: List[str] | None = None) -> int:
         print(lint_report.summary())
         (out / "lint.json").write_text(lint_report.to_json())
         print(f"Wrote {out}/lint.json")
+    return 0
+
+
+def plan_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``dayu-plan``."""
+    parser = argparse.ArgumentParser(
+        prog="dayu-plan",
+        description="Solve a fig11-style locality placement for a "
+                    "bundled workload from the static cost model — "
+                    "entirely pre-run — and write the executable "
+                    "dayu-plan/v1 artifact for dayu-run --plan.",
+    )
+    parser.add_argument("workload", choices=_WORKLOADS)
+    parser.add_argument("--out", default="plan.json",
+                        help="where to write the plan JSON "
+                             "(default plan.json)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale multiplier (default 1.0; "
+                             "match the dayu-run scale)")
+    parser.add_argument("--nodes", type=positive_int, default=2,
+                        help="simulated cluster nodes to place onto "
+                             "(default 2)")
+    parser.add_argument("--cost-out", metavar="PATH",
+                        help="also write the baseline static cost report "
+                             "(dayu-cost/v1 JSON) to PATH")
+    args = parser.parse_args(argv)
+
+    from repro.cluster.configs import cluster_spec
+    from repro.optimizer import solve_placement
+
+    workflow, _prepare = _build_workload(args.workload, args.scale)
+    spec = cluster_spec("gpu", args.nodes)
+    plan = solve_placement(workflow, spec, workload=args.workload,
+                           scale=args.scale)
+    plan.save(args.out)
+    pred = plan.predicted
+    print(f"Solved placement for {args.workload} (scale {args.scale:g}) "
+          f"on {args.nodes} node(s):")
+    print(f"  predicted baseline makespan: "
+          f"{pred['baseline_makespan_seconds']:.3f}s")
+    print(f"  predicted planned  makespan: "
+          f"{pred['planned_makespan_seconds']:.3f}s "
+          f"(+ {pred['stage_in_seconds']:.3f}s stage-in)")
+    print(f"  {len(plan.tasks)} task pin(s), "
+          f"{len(plan.files)} file localization(s)")
+    print(f"  wrote {args.out}")
+    if args.cost_out:
+        from repro.lint.cost import build_cost_context
+
+        build_cost_context(workflow, spec).report.save(args.cost_out)
+        print(f"  wrote cost report to {args.cost_out}")
     return 0
 
 

@@ -1,0 +1,28 @@
+"""Small helpers shared by every ``dayu-*`` command-line entry point.
+
+argparse ``type=`` callables centralize validation that used to be
+copy-pasted (or missing) per CLI: rejecting ``--jobs 0`` or a negative
+``--nodes`` is a usage error everywhere, so it exits 2 with the same
+message everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["positive_int"]
+
+
+def positive_int(value: str) -> int:
+    """argparse ``type=`` for counts that must be >= 1 (``--jobs``,
+    ``--nodes``).  Raising :class:`argparse.ArgumentTypeError` routes
+    through ``parser.error`` — exit status 2, message naming the flag.
+    """
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}") from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n

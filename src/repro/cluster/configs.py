@@ -9,43 +9,160 @@
 | GPU cluster | 2x AMD EPYC, RTX 2080 Ti, | NFS (default); BeeGFS (with    |
 |             | 384 GB RAM                | caching); SSD (node)           |
 +-------------+---------------------------+--------------------------------+
+
+Each configuration exists in two forms backed by the same parameters:
+
+- :class:`ClusterSpec` — a frozen, picklable *description* of the
+  topology (nodes, shared mounts, local tiers).  This is the cost-model
+  query surface: :meth:`ClusterSpec.device_for_path` answers "which
+  device would this path land on, and is it node-local?" without
+  instantiating any simulated state, so the pre-run analyzer
+  (:mod:`repro.lint.cost`) can price a workflow that never runs.
+- a live :class:`~repro.cluster.cluster.Cluster` built from the spec by
+  :func:`build_cluster` — what :func:`cpu_cluster` / :func:`gpu_cluster`
+  (and every experiment) return.  Both forms derive from one definition,
+  so predicted and simulated runs price I/O against the same devices.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
 from repro.cluster.cluster import Cluster, Node
 from repro.simclock import SimClock
+from repro.storage.devices import DEVICE_CATALOG, DeviceSpec
 
-__all__ = ["cpu_cluster", "gpu_cluster"]
+__all__ = [
+    "ClusterSpec",
+    "cluster_spec",
+    "build_cluster",
+    "cpu_cluster",
+    "gpu_cluster",
+]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster topology (frozen, picklable).
+
+    Attributes:
+        name: Configuration name (``"gpu"`` / ``"cpu"``).
+        n_nodes: Homogeneous node count; node names are ``n0``, ``n1``...
+        cpus: Parallel task slots per node.
+        ram_bytes: Main memory per node.
+        local_tiers: ``(tier name, device catalog name)`` pairs for the
+            node-local storage mounted at ``/local/<node>/<tier>``.
+        shared_mounts: ``(mount prefix, device catalog name)`` pairs, in
+            definition order; the first entry is the default mount for
+            paths matching no prefix.
+    """
+
+    name: str
+    n_nodes: int
+    cpus: int
+    ram_bytes: int
+    local_tiers: Tuple[Tuple[str, str], ...]
+    shared_mounts: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a cluster spec needs at least one node")
+        if not self.shared_mounts:
+            raise ValueError("a cluster spec needs a shared mount")
+        for _, device in (*self.local_tiers, *self.shared_mounts):
+            if device not in DEVICE_CATALOG:
+                raise ValueError(f"unknown device {device!r} in cluster spec")
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(f"n{i}" for i in range(self.n_nodes))
+
+    def device_for_path(self, path: str) -> Tuple[DeviceSpec, Optional[str]]:
+        """``(device, owning node)`` a path would land on; node is None
+        for shared mounts.  Longest-prefix match over the shared mounts;
+        paths matching nothing fall back to the first (default) mount.
+        """
+        if path.startswith("/local/"):
+            parts = path.split("/", 4)
+            if len(parts) >= 4 and parts[2] in self.node_names:
+                for tier, device in self.local_tiers:
+                    if tier == parts[3]:
+                        return DEVICE_CATALOG[device], parts[2]
+        best: Optional[Tuple[str, str]] = None
+        for prefix, device in self.shared_mounts:
+            if path == prefix or path.startswith(prefix + "/"):
+                if best is None or len(prefix) > len(best[0]):
+                    best = (prefix, device)
+        if best is None:
+            best = self.shared_mounts[0]
+        return DEVICE_CATALOG[best[1]], None
+
+    def fastest_local_tier(self) -> Optional[Tuple[str, str]]:
+        """The local tier with the highest read bandwidth (ties broken
+        by tier name), or None when nodes carry no local storage."""
+        if not self.local_tiers:
+            return None
+        return max(
+            self.local_tiers,
+            key=lambda t: (DEVICE_CATALOG[t[1]].read_bandwidth, t[0]),
+        )
+
+
+_SPECS = {
+    "cpu": dict(
+        cpus=20,
+        ram_bytes=48 * (1 << 30),
+        local_tiers=(("nvme", "nvme"), ("ssd", "sata_ssd"), ("hdd", "hdd")),
+        shared_mounts=(("/nfs", "nfs"),),
+    ),
+    "gpu": dict(
+        cpus=32,
+        ram_bytes=384 * (1 << 30),
+        local_tiers=(("ssd", "nvme"),),
+        shared_mounts=(("/nfs", "nfs"), ("/beegfs", "beegfs")),
+    ),
+}
+
+
+def cluster_spec(name: str = "gpu", n_nodes: int = 2) -> ClusterSpec:
+    """The named Table III configuration as a :class:`ClusterSpec`.
+
+    ``"gpu"`` is the default everywhere (it is what
+    :func:`~repro.experiments.common.fresh_env` and ``dayu-run``
+    simulate), so pre-run cost predictions price against the same
+    topology the runs execute on.
+    """
+    try:
+        params = _SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS))
+        raise KeyError(f"unknown cluster spec {name!r}; "
+                       f"known: {known}") from None
+    return ClusterSpec(name=name, n_nodes=n_nodes, **params)
+
+
+def build_cluster(spec: ClusterSpec, clock: SimClock) -> Cluster:
+    """Instantiate the simulated cluster a :class:`ClusterSpec` describes."""
+    nodes = [
+        Node(
+            name=node,
+            cpus=spec.cpus,
+            ram_bytes=spec.ram_bytes,
+            local_tiers=dict(spec.local_tiers),
+        )
+        for node in spec.node_names
+    ]
+    return Cluster(clock, nodes, shared_mounts=dict(spec.shared_mounts))
 
 
 def cpu_cluster(clock: SimClock, n_nodes: int = 2) -> Cluster:
     """The CPU cluster: 2× Xeon Silver 4114 (20 cores), 48 GB RAM per node;
     NFS shared (default), with node-local NVMe, SATA SSD, and HDD."""
-    nodes = [
-        Node(
-            name=f"n{i}",
-            cpus=20,
-            ram_bytes=48 * (1 << 30),
-            local_tiers={"nvme": "nvme", "ssd": "sata_ssd", "hdd": "hdd"},
-        )
-        for i in range(n_nodes)
-    ]
-    return Cluster(clock, nodes, shared_mounts={"/nfs": "nfs"})
+    return build_cluster(cluster_spec("cpu", n_nodes), clock)
 
 
 def gpu_cluster(clock: SimClock, n_nodes: int = 2) -> Cluster:
     """The GPU cluster: 2× AMD EPYC + RTX 2080 Ti, 384 GB RAM per node;
     NFS shared (default) and BeeGFS parallel FS, with node-local SSD."""
-    nodes = [
-        Node(
-            name=f"n{i}",
-            cpus=32,
-            ram_bytes=384 * (1 << 30),
-            local_tiers={"ssd": "nvme"},
-        )
-        for i in range(n_nodes)
-    ]
-    return Cluster(
-        clock, nodes, shared_mounts={"/nfs": "nfs", "/beegfs": "beegfs"}
-    )
+    return build_cluster(cluster_spec("gpu", n_nodes), clock)

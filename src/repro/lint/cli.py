@@ -12,6 +12,8 @@ Examples::
     dayu-lint traces/ --diff ddmd             # DY45x contract drift
     dayu-lint traces/ --races --attempts run.json      # DY5xx + DY505
     dayu-lint --static racy-pipeline --races --sensitivity-out sens.json
+    dayu-lint --static perf-hazards --cost          # DY6xx, zero traces
+    dayu-lint traces/ --diff perf-hazards --cost --cost-out cost.json
 
 ``--static WORKLOAD`` lints the named bundled workflow *definition*
 through the DY40x contract rules — nothing is executed and no traces
@@ -22,7 +24,13 @@ rules.  Both resolve workload names (and ``--scale``) through
 workflow ``dayu-run`` would execute.  ``--races`` opts in the DY5xx
 happens-before race family (equivalent to ``--select 'DY5*'``) in every
 mode — post-hoc over row or columnar traces, or pre-run with
-``--static``.
+``--static``.  ``--cost`` opts in the cost prophet (``--select
+'DY6*'``): with ``--static`` the DY60x predicted-performance rules run
+purely from contracts and the device/cluster cost models; with
+``--diff`` the DY65x prediction-drift rules additionally put the
+prediction itself on trial against the traced run.  ``--pushdown``
+composes with ``--diff``: over columnar traces the DY651/DY653
+predicates clear provably-matching runs from footer statistics alone.
 
 Exit status (same table in every mode — plain, ``--static``, ``--diff``,
 ``--races``, ``--pushdown``):
@@ -41,6 +49,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List
+
+from repro.cli_common import positive_int
 
 __all__ = ["lint_main"]
 
@@ -81,6 +91,18 @@ def _parse_args(argv):
                         help="opt in the DY5xx happens-before race rules "
                              "(same as --select 'DY5*'); works post-hoc "
                              "and with --static")
+    parser.add_argument("--cost", action="store_true",
+                        help="opt in the DY6xx cost-prophet rules (same as "
+                             "--select 'DY6*'): predicted performance "
+                             "hazards with --static, prediction drift "
+                             "(DY65x) with --diff")
+    parser.add_argument("--cost-out", metavar="PATH",
+                        help="write the static cost report (dayu-cost/v1 "
+                             "JSON) to PATH; requires --cost")
+    parser.add_argument("--nodes", type=positive_int, default=2,
+                        help="simulated cluster nodes the cost model "
+                             "prices against (default 2; match the "
+                             "dayu-run node count)")
     parser.add_argument("--attempts", metavar="PATH",
                         help="run-result JSON with per-task attempt counts "
                              "(dayu-run output or a flat {task: n} map); "
@@ -94,7 +116,7 @@ def _parse_args(argv):
     parser.add_argument("--write-baseline", metavar="PATH",
                         help="write the current findings' fingerprints to "
                              "PATH and exit 0")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=positive_int, default=1,
                         help="worker processes for loading and per-profile "
                              "rules (default 1 = serial)")
     parser.add_argument("--page-size", type=int, default=4096,
@@ -111,12 +133,15 @@ def _parse_args(argv):
     parser.add_argument("--list-rules", action="store_true",
                         help="list every registered rule and exit")
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     if args.static and args.diff:
         parser.error("--static and --diff are mutually exclusive")
-    if args.pushdown and (args.static or args.diff):
+    if args.pushdown and args.static:
         parser.error("--pushdown applies to trace linting only")
+    if args.cost and not (args.static or args.diff):
+        parser.error("--cost needs a workflow's contracts: "
+                     "use --static or --diff")
+    if args.cost_out and not args.cost:
+        parser.error("--cost-out requires --cost")
     if args.static and args.traces:
         parser.error("--static lints a workflow definition; "
                      "it takes no traces directory")
@@ -174,11 +199,15 @@ def lint_main(argv: List[str] | None = None) -> int:
                             disable=tuple(args.disable))
         for r in all_rules():
             state = "on " if config.is_enabled(r) else "off"
+            default = "on " if r.default_enabled else "off"
             print(f"{r.code}  [{state}] {r.severity.value:<7} "
-                  f"{r.scope:<8} {r.name}: {r.description}")
+                  f"{r.scope:<9} default={default} "
+                  f"{r.name}: {r.description}")
         return 0
 
-    enable = tuple(args.enable) + (("DY5*",) if args.races else ())
+    enable = (tuple(args.enable)
+              + (("DY5*",) if args.races else ())
+              + (("DY6*",) if args.cost else ()))
     try:
         config = LintConfig(
             enable=enable,
@@ -211,13 +240,35 @@ def lint_main(argv: List[str] | None = None) -> int:
             print(f"dayu-lint: {exc}", file=sys.stderr)
             return None
 
+    cost_ctx = None
+
+    def _cost_context(workflow, wc):
+        from repro.cluster.configs import cluster_spec
+        from repro.lint.cost import build_cost_context
+
+        return build_cost_context(workflow,
+                                  cluster_spec("gpu", args.nodes),
+                                  contracts=wc)
+
     if args.static:
         from repro.lint import lint_workflow
 
         built = _workload(args.static)
         if built is None:
             return 2
-        report = lint_workflow(built[0], config)
+        if args.cost:
+            from repro.lint import extract_workflow_contracts
+            from repro.lint.engine import cost_findings
+            from repro.lint.findings import Finding
+
+            wc = extract_workflow_contracts(built[0])
+            cost_ctx = _cost_context(built[0], wc)
+            report = lint_workflow(built[0], config, contracts=wc)
+            report.findings = sorted(
+                report.findings + cost_findings(cost_ctx, config),
+                key=Finding.sort_key)
+        else:
+            report = lint_workflow(built[0], config)
     elif args.pushdown:
         from repro.analyzer import ParallelAnalyzer
 
@@ -225,9 +276,22 @@ def lint_main(argv: List[str] | None = None) -> int:
                                     with_io_records=args.with_io_records)
         pd_stats: dict = {}
         try:
-            report = analyzer.lint_run(args.traces, config,
-                                       stats_out=pd_stats,
-                                       attempts=attempts)
+            if args.diff:
+                from repro.lint import extract_workflow_contracts
+
+                built = _workload(args.diff)
+                if built is None:
+                    return 2
+                wc = extract_workflow_contracts(built[0])
+                if args.cost:
+                    cost_ctx = _cost_context(built[0], wc)
+                report = analyzer.diff_run(args.traces, wc.effective(),
+                                           config, stats_out=pd_stats,
+                                           cost=cost_ctx)
+            else:
+                report = analyzer.lint_run(args.traces, config,
+                                           stats_out=pd_stats,
+                                           attempts=attempts)
         except UnknownTraceFormat as exc:
             print(f"dayu-lint: {exc}", file=sys.stderr)
             return 2
@@ -258,13 +322,27 @@ def lint_main(argv: List[str] | None = None) -> int:
             built = _workload(args.diff)
             if built is None:
                 return 2
-            contracts = extract_workflow_contracts(built[0]).effective()
+            wc = extract_workflow_contracts(built[0])
+            contracts = wc.effective()
             if args.jobs > 1:
                 report = analyzer.diff(profiles, contracts, config)
             else:
                 report = diff_profiles(profiles, contracts, config)
+            if args.cost:
+                from repro.lint.engine import cost_findings
+                from repro.lint.findings import Finding
+
+                cost_ctx = _cost_context(built[0], wc)
+                report.findings = sorted(
+                    report.findings
+                    + cost_findings(cost_ctx, config, profiles),
+                    key=Finding.sort_key)
         else:
             report = analyzer.lint(profiles, config, attempts=attempts)
+
+    if args.cost_out and cost_ctx is not None:
+        cost_ctx.report.save(args.cost_out)
+        print(f"wrote cost report to {args.cost_out}", file=sys.stderr)
 
     if args.write_baseline:
         save_baseline(args.write_baseline, report.findings)

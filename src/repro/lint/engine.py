@@ -40,6 +40,7 @@ from repro.mapper.mapper import TaskProfile
 from repro.lint import drift as _drift  # noqa: F401
 from repro.lint import hazards as _hazards  # noqa: F401
 from repro.lint import integrity as _integrity  # noqa: F401
+from repro.lint import perf as _perf  # noqa: F401
 from repro.lint import prerun as _prerun  # noqa: F401
 from repro.lint import race as _race  # noqa: F401
 from repro.lint import semantic as _semantic  # noqa: F401
@@ -54,6 +55,9 @@ __all__ = [
     "run_contract_rules",
     "run_drift_rules",
     "run_race_rules",
+    "run_perf_rules",
+    "run_costdrift_rules",
+    "cost_findings",
     "load_baseline",
     "save_baseline",
     "parse_baseline",
@@ -197,12 +201,52 @@ def run_contract_rules(ctx, config: LintConfig) -> List[Finding]:
     return findings
 
 
+def run_perf_rules(ctx, config: LintConfig) -> List[Finding]:
+    """Evaluate every enabled ``perf``-scoped (DY60x) rule over a
+    pre-run :class:`~repro.lint.cost.CostContext`."""
+    findings: List[Finding] = []
+    for r in config.enabled_rules(scope="perf"):
+        findings.extend(r.check(ctx, config))
+    return findings
+
+
+def run_costdrift_rules(ctx, config: LintConfig) -> List[Finding]:
+    """Evaluate every enabled ``costdrift``-scoped (DY65x) rule over a
+    :class:`~repro.lint.cost.CostDriftContext`."""
+    findings: List[Finding] = []
+    for r in config.enabled_rules(scope="costdrift"):
+        findings.extend(r.check(ctx, config))
+    return findings
+
+
+def cost_findings(cctx, config: LintConfig,
+                  profiles: Optional[Sequence[TaskProfile]] = None
+                  ) -> List[Finding]:
+    """All cost-prophet findings for one prediction (unsorted).
+
+    Runs the pre-run DY60x rules over ``cctx`` and — when a traced run's
+    ``profiles`` are supplied — the DY65x drift rules against it.  One
+    call site for CLI, analyzer, and experiments, so every delivery mode
+    produces identical findings for identical inputs.
+    """
+    findings = run_perf_rules(cctx, config)
+    if profiles is not None:
+        from repro.lint.cost import build_cost_drift_context
+
+        dctx = build_cost_drift_context(cctx.report, profiles)
+        findings.extend(run_costdrift_rules(dctx, config))
+    return findings
+
+
 def lint_workflow(workflow, config: Optional[LintConfig] = None,
-                  contracts=None) -> LintReport:
+                  contracts=None, spec=None) -> LintReport:
     """Lint a workflow *definition* — no traces required.
 
     Extracts (or accepts) access contracts for every task, joins them
-    into the static context, and runs the DY40x pre-run rules.
+    into the static context, and runs the DY40x pre-run rules.  When a
+    :class:`~repro.cluster.configs.ClusterSpec` is supplied (``spec``)
+    and any ``perf``-scoped rule is enabled, the static cost report is
+    built and the DY60x rules run too.
     """
     from repro.lint.predict import build_static_context
 
@@ -214,6 +258,12 @@ def lint_workflow(workflow, config: Optional[LintConfig] = None,
 
         race_ctx = build_static_race_context(ctx, config)
         findings.extend(run_race_rules(race_ctx, config))
+    if spec is not None and config.enabled_rules(scope="perf"):
+        from repro.lint.cost import CostContext, build_cost_report
+
+        report = build_cost_report(ctx, spec)
+        findings.extend(run_perf_rules(
+            CostContext(static=ctx, spec=spec, report=report), config))
     findings.sort(key=Finding.sort_key)
     return LintReport(findings=findings,
                       tasks=sorted(t.name for t in workflow.all_tasks()))

@@ -46,6 +46,7 @@ from repro.workflow.model import Workflow
 __all__ = [
     "StaticContext",
     "build_static_context",
+    "access_bytes",
     "synthetic_profiles",
     "build_predicted_sdg",
 ]
@@ -199,7 +200,7 @@ def build_static_context(
 # ----------------------------------------------------------------------
 # The predicted SDG
 # ----------------------------------------------------------------------
-def _access_bytes(a: ContractAccess) -> int:
+def access_bytes(a: ContractAccess) -> int:
     """Predicted bytes one operation of this access moves."""
     itemsize = dtype_itemsize(a.dtype) or _DEFAULT_ITEMSIZE
     elements = a.elements
@@ -241,7 +242,7 @@ def synthetic_profiles(ctx: StaticContext) -> List[TaskProfile]:
                 stats.last_end = span.end
                 rows[a.key] = stats
             ops = max(a.count, 1)
-            volume = _access_bytes(a) * ops
+            volume = access_bytes(a) * ops
             if a.op == "read":
                 stats.reads += ops
                 stats.bytes_read += volume

@@ -23,6 +23,14 @@ reused for a different meaning once shipped):
   DY5*``): vector-clock analysis under the *dependency-only* ordering —
   conflicting accesses ordered only by stage barriers or observed timing
   are convicted with a concrete reorder witness.
+- **DY60x — predicted performance** (opt-in, ``--cost``): the static
+  cost prophet — contracts joined with the device cost models and a
+  cluster topology convict performance hazards (small-I/O on the
+  predicted critical path, stage stragglers, cross-node traffic a
+  locality plan would eliminate) before anything runs.
+- **DY65x — prediction drift**: predicted cost/critical path vs. one
+  traced run — mispredictions are themselves findings (the performance
+  mirror of DY45x contract drift).
 
 Rules register themselves via :func:`rule`; importing
 :mod:`repro.lint.semantic`, :mod:`repro.lint.hazards`,
@@ -34,9 +42,12 @@ processes), ``workflow``-scoped (evaluated once over the cross-task
 :class:`~repro.lint.context.WorkflowIndex`), ``contract``-scoped
 (evaluated once over the pre-run
 :class:`~repro.lint.predict.StaticContext`), ``drift``-scoped (evaluated
-per task against its contract + traced summary, shardable), or
+per task against its contract + traced summary, shardable),
 ``race``-scoped (evaluated once over the dual happens-before
-:class:`~repro.lint.race.RaceContext`).
+:class:`~repro.lint.race.RaceContext`), ``perf``-scoped (evaluated once
+over the pre-run :class:`~repro.lint.cost.CostContext`), or
+``costdrift``-scoped (evaluated once over the prediction-vs-trace
+:class:`~repro.lint.cost.CostDriftContext`).
 """
 
 from __future__ import annotations
@@ -99,9 +110,11 @@ def rule(code: str, name: str, severity: Severity, scope: str,
          description: str, default_enabled: bool = True,
          pushdown: Optional[Callable] = None):
     """Class-less registration decorator for rule check functions."""
-    if scope not in ("profile", "workflow", "contract", "drift", "race"):
+    if scope not in ("profile", "workflow", "contract", "drift", "race",
+                     "perf", "costdrift"):
         raise ValueError(f"bad rule scope {scope!r}")
-    if pushdown is not None and scope not in ("profile", "workflow", "race"):
+    if pushdown is not None and scope not in ("profile", "workflow", "race",
+                                              "costdrift"):
         raise ValueError(f"pushdown predicates only apply to traced "
                          f"scopes, not {scope!r}")
 
@@ -161,6 +174,26 @@ class LintConfig:
     #: DY504 schedule-sensitivity reports keep at most this many
     #: must-preserve edges in finding evidence (the count is always exact).
     sensitivity_max_edges: int = 64
+    #: DY6xx noise floor: predicted costs below this many seconds are
+    #: never worth a finding, whatever their shape.
+    cost_min_seconds: float = 0.05
+    #: DY602: a parallel stage is imbalanced when its slowest task is
+    #: predicted at least this factor above the stage mean.
+    imbalance_factor: float = 3.0
+    #: DY603/DY604: a locality rewrite must be predicted to save at least
+    #: this fraction of the makespan (and clear ``cost_min_seconds``).
+    locality_min_fraction: float = 0.2
+    #: DY605: one producer→consumer edge dominates when its predicted
+    #: transfer costs at least this fraction of the makespan.
+    edge_dominance_fraction: float = 0.25
+    #: DY651/DY652 fire when actual and predicted seconds disagree by at
+    #: least this factor (either direction) and the larger side clears
+    #: ``cost_drift_min_seconds``.
+    cost_drift_factor: float = 3.0
+    cost_drift_min_seconds: float = 0.05
+    #: DY653 fires when traced and predicted byte volumes disagree by
+    #: ``cost_drift_factor`` and at least this many bytes.
+    cost_drift_min_bytes: int = 1 << 16
 
     def __post_init__(self) -> None:
         for sel in (*self.enable, *self.disable):
@@ -173,6 +206,15 @@ class LintConfig:
             raise ValueError("small-I/O thresholds must be positive")
         if self.open_loop_min_opens < 2:
             raise ValueError("open_loop_min_opens must be >= 2")
+        if self.cost_min_seconds < 0 or self.cost_drift_min_seconds < 0:
+            raise ValueError("cost floors must be non-negative")
+        if self.imbalance_factor < 1 or self.cost_drift_factor < 1:
+            raise ValueError("cost factors must be >= 1")
+        if not (0 < self.locality_min_fraction <= 1
+                and 0 < self.edge_dominance_fraction <= 1):
+            raise ValueError("cost fractions must be in (0, 1]")
+        if self.cost_drift_min_bytes < 0:
+            raise ValueError("cost_drift_min_bytes must be non-negative")
 
     @staticmethod
     def _matches(code: str, selector: str) -> bool:

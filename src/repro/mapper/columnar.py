@@ -1079,6 +1079,16 @@ class GroupStatsView:
     def task(self) -> Optional[str]:
         return self._group.task
 
+    @property
+    def start(self) -> float:
+        """Group time-span start — footer metadata, no column decode."""
+        return self._group.start
+
+    @property
+    def end(self) -> float:
+        """Group time-span end — footer metadata, no column decode."""
+        return self._group.end
+
     def _stats(self, family: str, column: str) -> Optional[ColumnStats]:
         meta = self._group.column_meta(family, column)
         return meta.stats if meta is not None else None

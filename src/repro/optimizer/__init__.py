@@ -13,10 +13,16 @@ package closes the loop the evaluation performed by hand:
   the co-scheduling decisions;
 - :class:`~repro.optimizer.transparent.TransparentCache` provides the
   "transparent and immediate runtime optimization" integration: a path
-  resolver that redirects reads to node-local replicas automatically.
+  resolver that redirects reads to node-local replicas automatically;
+- :func:`~repro.optimizer.placement.solve_placement` derives a
+  fig11-style locality placement *pre-run* from the static cost model,
+  emitting an executable ``dayu-plan/v1`` artifact for
+  ``dayu-run --plan``.
 """
 
+from repro.optimizer.placement import solve_placement
 from repro.optimizer.planner import OptimizationPlan, PlanStep, build_plan
 from repro.optimizer.transparent import TransparentCache
 
-__all__ = ["OptimizationPlan", "PlanStep", "build_plan", "TransparentCache"]
+__all__ = ["OptimizationPlan", "PlanStep", "build_plan", "TransparentCache",
+           "solve_placement"]

@@ -35,6 +35,7 @@ __all__ = [
     "IoCounters",
     "DEVICE_CATALOG",
     "make_device",
+    "predicted_cost",
 ]
 
 
@@ -305,6 +306,41 @@ class StorageDevice:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StorageDevice({self.spec.name!r}, ops={self.counters.total_ops})"
+
+
+def predicted_cost(
+    spec: DeviceSpec,
+    *,
+    read_ops: int = 0,
+    read_bytes: int = 0,
+    write_ops: int = 0,
+    write_bytes: int = 0,
+    concurrency: int = 1,
+) -> float:
+    """Stateless cost-model query: predicted seconds for a batch of I/O.
+
+    The pre-run analogue of :meth:`StorageDevice.read_cost` /
+    :meth:`write_cost` — same latency + bandwidth + contention math,
+    but querying the :class:`DeviceSpec` directly, with no counters and
+    no seek modeling (sequentiality is unknowable before a run; leaving
+    it out keeps the model linear, which is what makes the cost laws —
+    monotonicity in bytes, additivity over serial batches — provable).
+
+    ``concurrency`` is the number of request streams predicted to share
+    the device while this batch runs (the runner's per-stage concurrency
+    declaration, applied ahead of time).
+    """
+    if min(read_ops, read_bytes, write_ops, write_bytes) < 0:
+        raise ValueError("operation and byte counts must be non-negative")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    cost = (
+        read_ops * spec.read_latency
+        + read_bytes / spec.read_bandwidth
+        + write_ops * spec.write_latency
+        + write_bytes / spec.write_bandwidth
+    )
+    return cost * (1.0 + spec.contention_share * (concurrency - 1))
 
 
 def make_device(name: str) -> StorageDevice:

@@ -1,0 +1,175 @@
+"""The perf-hazards workload: the DY6xx cost-prophet ground truth.
+
+A four-stage pipeline whose contracts are *accurate* (no DY45x/DY65x
+drift, no correctness hazards) but whose shape is intentionally naive,
+so every DY6xx performance rule convicts it from the declarations alone
+— before anything runs:
+
+- ``seed_grid`` (serial) materializes one large grid on shared storage;
+- ``analyze_0..n`` (parallel) each read the full grid once — except
+  ``analyze_1``, which re-reads it ``hot_reads`` times (DY602 predicted
+  straggler).  Under the default round-robin placement ``analyze_1``
+  also lands on a different node than ``seed_grid``, so its re-reads
+  are cross-node shared-storage traffic (DY603) and the dominant edge
+  of the whole workflow (DY605); the grid itself becomes a hot dataset
+  a local NVMe tier would serve far cheaper (DY604);
+- ``journal`` (serial, on the predicted critical path) appends
+  ``journal_ops`` single-element writes — per-op latency dwarfs its
+  byte volume (DY601 small-I/O amplification);
+- ``summarize`` (serial) fans everything back in.
+
+``dayu-plan`` on this workload finds the fig11-style fix: pin the grid's
+toucher set onto one node and stage the grid on its local tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hdf5 import Selection
+from repro.workflow.contracts import TaskContract, creates, reads, writes
+from repro.workflow.model import Stage, Task, Workflow
+from repro.workflow.runner import TaskRuntime
+
+__all__ = ["PerfHazardsParams", "build_perf_hazards"]
+
+
+@dataclass(frozen=True)
+class PerfHazardsParams:
+    """Scale knobs.  Defaults are sized so that, on the default two-node
+    GPU cluster, every DY6xx rule clears its threshold with margin; the
+    traced-run tests shrink ``grid``/``journal_ops`` via the registry's
+    ``scale`` instead of loosening thresholds.
+    """
+
+    data_dir: str = "/pfs/perf"
+    #: Grid elements (f4): 16 Mi elements = 64 MiB at scale 1.
+    grid: int = 16 << 20
+    n_analyze: int = 4
+    #: Full-grid re-reads by the hot task ``analyze_1``.
+    hot_reads: int = 16
+    #: Single-element journal writes on the critical path.
+    journal_ops: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.n_analyze < 2:
+            raise ValueError("perf-hazards needs at least 2 analyze tasks")
+        if self.grid < self.n_analyze or self.hot_reads < 1:
+            raise ValueError("perf-hazards parameters too small")
+        if self.journal_ops < 1:
+            raise ValueError("journal_ops must be positive")
+
+    @property
+    def grid_file(self) -> str:
+        return f"{self.data_dir}/grid.h5"
+
+    def part_file(self, k: int) -> str:
+        return f"{self.data_dir}/part_{k}.h5"
+
+    @property
+    def journal_file(self) -> str:
+        return f"{self.data_dir}/journal.h5"
+
+    @property
+    def summary_file(self) -> str:
+        return f"{self.data_dir}/summary.h5"
+
+    @property
+    def part_elems(self) -> int:
+        return max(self.grid // self.n_analyze, 1)
+
+
+def build_perf_hazards(params: PerfHazardsParams) -> Workflow:
+    p = params
+
+    # ---------------- stage 1: ingest (serial) ------------------------
+    def seed_grid(rt: TaskRuntime) -> None:
+        rng = np.random.default_rng(11)
+        f = rt.open(p.grid_file, "w")
+        f.create_dataset("grid", shape=(p.grid,), dtype="f4",
+                         data=rng.random(p.grid, dtype=np.float32))
+        f.close()
+
+    ingest = Stage("ingest", [
+        Task("seed_grid", seed_grid, contract=TaskContract.declare(
+            creates(p.grid_file, "grid", shape=(p.grid,), dtype="f4",
+                    elements=p.grid))),
+    ], parallel=False)
+
+    # ------------- stage 2: analyze (parallel, skewed) ----------------
+    def analyze(k: int):
+        n_reads = p.hot_reads if k == 1 else 1
+
+        def fn(rt: TaskRuntime) -> None:
+            f = rt.open(p.grid_file, "r")
+            for _ in range(n_reads):
+                grid = f["grid"].read()
+            f.close()
+            part = grid[k * p.part_elems:(k + 1) * p.part_elems]
+            if part.size < p.part_elems:  # last shard of an uneven split
+                part = np.resize(part, p.part_elems)
+            out = rt.open(p.part_file(k), "w")
+            out.create_dataset("part", shape=(p.part_elems,), dtype="f4",
+                               data=part.astype(np.float32))
+            out.close()
+
+        return Task(f"analyze_{k}", fn, contract=TaskContract.declare(
+            reads(p.grid_file, "grid", elements=p.grid, count=n_reads),
+            creates(p.part_file(k), "part", shape=(p.part_elems,),
+                    dtype="f4", elements=p.part_elems)))
+
+    analyze_stage = Stage("analyze", [analyze(k) for k in range(p.n_analyze)])
+
+    # ------ stage 3: journal (serial, on the critical path) -----------
+    def journal(rt: TaskRuntime) -> None:
+        checksum = np.zeros(1, dtype=np.float32)
+        for k in range(p.n_analyze):
+            f = rt.open(p.part_file(k), "r")
+            checksum += f["part"].read().sum(dtype=np.float32)
+            f.close()
+        out = rt.open(p.journal_file, "w")
+        ds = out.create_dataset("journal", shape=(p.journal_ops,),
+                                dtype="f4")
+        # One element per entry: the per-op latency storm DY601 convicts.
+        for i in range(p.journal_ops):
+            ds.write(checksum, Selection.hyperslab(((i, 1),)))
+        out.close()
+
+    journal_stage = Stage("journal", [
+        Task("journal", journal, contract=TaskContract.declare(
+            *[reads(p.part_file(k), "part", elements=p.part_elems)
+              for k in range(p.n_analyze)],
+            creates(p.journal_file, "journal", shape=(p.journal_ops,),
+                    dtype="f4", elements=0),
+            writes(p.journal_file, "journal", elements=1,
+                   count=p.journal_ops))),
+    ], parallel=False)
+
+    # ---------------- stage 4: summarize (serial) ---------------------
+    def summarize(rt: TaskRuntime) -> None:
+        f = rt.open(p.journal_file, "r")
+        entries = f["journal"].read()
+        f.close()
+        means = np.zeros(p.n_analyze, dtype=np.float32)
+        for k in range(p.n_analyze):
+            f = rt.open(p.part_file(k), "r")
+            means[k] = f["part"].read().mean(dtype=np.float64)
+            f.close()
+        out = rt.open(p.summary_file, "w")
+        out.create_dataset("summary", shape=(p.n_analyze,), dtype="f4",
+                           data=means + entries[:1])
+        out.close()
+
+    summarize_stage = Stage("summarize", [
+        Task("summarize", summarize, contract=TaskContract.declare(
+            reads(p.journal_file, "journal", elements=p.journal_ops),
+            *[reads(p.part_file(k), "part", elements=p.part_elems)
+              for k in range(p.n_analyze)],
+            creates(p.summary_file, "summary", shape=(p.n_analyze,),
+                    dtype="f4", elements=p.n_analyze))),
+    ], parallel=False)
+
+    return Workflow("perf_hazards",
+                    [ingest, analyze_stage, journal_stage, summarize_stage])

@@ -22,7 +22,7 @@ __all__ = ["WORKLOADS", "build_workload"]
 
 WORKLOADS = ("pyflextrkr", "ddmd", "arldm", "h5bench", "h5bench-shared",
              "climate", "corner", "corner-hazards", "chaos",
-             "racy-pipeline")
+             "racy-pipeline", "perf-hazards")
 
 Prepare = Optional[Callable]
 
@@ -102,6 +102,16 @@ def build_workload(name: str, scale: float = 1.0) -> Tuple[Workflow, Prepare]:
             elems=max(int(1024 * scale), 8),
         )
         return build_racy_pipeline(params), None
+    if name == "perf-hazards":
+        from repro.workloads.perf_hazards import (
+            PerfHazardsParams, build_perf_hazards)
+
+        params = PerfHazardsParams(
+            data_dir="/beegfs/perf",
+            grid=max(int((16 << 20) * scale), 64),
+            journal_ops=max(int(2048 * scale), 8),
+        )
+        return build_perf_hazards(params), None
     if name == "chaos":
         from repro.workloads.chaos import ChaosParams, build_chaos
 

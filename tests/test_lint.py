@@ -449,13 +449,16 @@ class TestRegistryAndBaseline:
     def test_registry_families_complete(self):
         codes = [r.code for r in all_rules()]
         assert codes == sorted(codes)
-        assert {c[:3] for c in codes} == {"DY1", "DY2", "DY3", "DY4", "DY5"}
+        assert {c[:3] for c in codes} == {"DY1", "DY2", "DY3", "DY4",
+                                          "DY5", "DY6"}
         assert len(codes) == len(set(codes))
         assert get_rule("DY203").scope == "workflow"
         assert get_rule("DY301").scope == "profile"
         assert get_rule("DY401").scope == "contract"
         assert get_rule("DY451").scope == "drift"
         assert get_rule("DY501").scope == "race"
+        assert get_rule("DY601").scope == "perf"
+        assert get_rule("DY651").scope == "costdrift"
 
     def test_config_precedence(self):
         dy105 = get_rule("DY105")

@@ -41,6 +41,7 @@ SCALES = {
     "pyflextrkr": 0.1, "ddmd": 0.2, "arldm": 0.2, "h5bench": 0.25,
     "h5bench-shared": 0.25, "climate": 0.5, "corner": 0.05,
     "corner-hazards": 0.05, "chaos": 0.5, "racy-pipeline": 0.25,
+    "perf-hazards": 0.05,
 }
 
 
