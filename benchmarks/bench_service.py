@@ -1,0 +1,48 @@
+"""Service-plane load benchmark: gates ``repro.service`` and records
+``BENCH_service.json`` at the repo root.
+
+A real ``DayuService`` on an ephemeral port is hammered by the async
+load generator with a sweep of concurrent clients uploading real ddmd
+traces and querying FTG/SDG/findings after every upload.  Gates:
+
+- **identity** — every sweep's served graphs and findings byte-match
+  the offline ``dayu-compact`` + ``dayu-analyze`` pipeline, and still
+  do after a no-compaction stop (the ``kill -9`` shape) + restart;
+- **throughput** — peak sustained ingest stays above the floor;
+- **latency** — worst-case query p99 stays under the ceiling.
+
+Wall-clock numbers on a dev box run ~100+ uploads/s with query p99
+under 50 ms; the gates carry wide margin for noisy CI runners.
+``DAYU_SMOKE=1`` shrinks the sweep and relaxes the numeric gates
+(identity gates never relax).
+"""
+
+import os
+from pathlib import Path
+
+from repro.experiments.service_load import run_service_load
+
+BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+_SMOKE = os.environ.get("DAYU_SMOKE") == "1"
+
+
+def test_service_load(run_once, write_bench_json):
+    sweep = (1, 2, 4) if _SMOKE else (1, 2, 4, 8)
+    runs_per_sweep = 2 if _SMOKE else 4
+    min_uploads_per_s = 8.0 if _SMOKE else 20.0
+    max_query_p99_ms = 1500.0 if _SMOKE else 750.0
+
+    result = run_once(run_service_load, clients_sweep=sweep,
+                      runs_per_sweep=runs_per_sweep)
+    result["smoke"] = _SMOKE
+    result["min_uploads_per_s"] = min_uploads_per_s
+    result["max_query_p99_ms"] = max_query_p99_ms
+    write_bench_json(BENCH_OUT, result)
+
+    # Correctness first: concurrency and crash-restart may cost time,
+    # never bytes.
+    assert result["identical"]
+    assert result["recovery_identical"]
+    assert result["peak_uploads_per_s"] >= min_uploads_per_s
+    assert result["worst_query_p99_ms"] <= max_query_p99_ms

@@ -11,6 +11,8 @@ import json
 
 import pytest
 
+from repro.ioutil import atomic_write_text
+
 
 def _write_bench_json(path, payload) -> None:
     """Write a ``BENCH_*.json`` result file as strict JSON, file-only.
@@ -18,11 +20,12 @@ def _write_bench_json(path, payload) -> None:
     The bench numbers go to the *file*, never stdout/stderr — shell
     wrappers (e.g. conda's ``auto_activate_base`` banner) pollute streams,
     and downstream gates parse these files mechanically.  The write is
-    verified by re-reading and parsing: a mangled file fails the
-    benchmark here, not the consumer later.
+    atomic (tmp + ``os.replace``) so an interrupted bench never leaves a
+    truncated gate file, and verified by re-reading and parsing: a
+    mangled file fails the benchmark here, not the consumer later.
     """
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n")
     reread = json.loads(path.read_text(encoding="utf-8"))
     assert reread == json.loads(json.dumps(payload)), (
         f"{path} did not round-trip as strict JSON")

@@ -30,7 +30,8 @@ from pathlib import Path
 from typing import List
 
 from repro.analyzer import to_dot, to_html
-from repro.cli_common import positive_int
+from repro.cli_common import diagnose_traces_dir, positive_int
+from repro.ioutil import atomic_write_json, atomic_write_text
 from repro.diagnostics import diagnose
 from repro.experiments.common import fresh_env
 from repro.guidelines import recommend
@@ -165,10 +166,8 @@ def run_main(argv: List[str] | None = None) -> int:
             print(f"  lost tasks (degraded): {lost}")
         injector.disarm()
     if args.result_json:
-        import json
-
-        Path(args.result_json).write_text(
-            json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+        atomic_write_json(args.result_json, result.to_json_dict(),
+                          sort_keys=True)
         print(f"  wrote workflow result to {args.result_json}")
     written = env.mapper.save_to_host_dir(args.out,
                                           trace_format=args.trace_format)
@@ -219,14 +218,18 @@ def analyze_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.analyzer import ParallelAnalyzer
+    from repro.mapper.persist import UnknownTraceFormat
 
     analyzer = ParallelAnalyzer(max_workers=args.jobs)
-    profiles = analyzer.load(args.traces, trace_format=args.trace_format)
+    try:
+        profiles = analyzer.load(args.traces, trace_format=args.trace_format)
+    except UnknownTraceFormat as exc:
+        print(f"dayu-analyze: {exc}", file=sys.stderr)
+        return 2
     if not profiles:
-        what = ("saved profiles" if args.trace_format == "auto"
-                else f"{args.trace_format} profiles")
-        print(f"no {what} found in {args.traces!r}", file=sys.stderr)
-        return 1
+        diagnosis = diagnose_traces_dir(args.traces, args.trace_format)
+        print(f"dayu-analyze: {diagnosis}", file=sys.stderr)
+        return 2
     print(f"Loaded {len(profiles)} task profile(s) from {args.traces}/")
 
     task_order = None
@@ -244,13 +247,14 @@ def analyze_main(argv: List[str] | None = None) -> int:
                              region_bytes=args.region_bytes,
                              page_size=args.page_size)
     for name, graph in (("ftg", ftg), ("sdg", sdg)):
-        (out / f"{name}.html").write_text(to_html(graph, title=f"DaYu {name.upper()}"))
-        (out / f"{name}.dot").write_text(to_dot(graph, title=name))
+        atomic_write_text(out / f"{name}.html",
+                          to_html(graph, title=f"DaYu {name.upper()}"))
+        atomic_write_text(out / f"{name}.dot", to_dot(graph, title=name))
     if args.graph_json:
         from repro.analyzer.serialize import graph_to_json
 
         for name, graph in (("ftg", ftg), ("sdg", sdg)):
-            (out / f"{name}.json").write_text(graph_to_json(graph) + "\n")
+            atomic_write_text(out / f"{name}.json", graph_to_json(graph) + "\n")
         print(f"Wrote {out}/ftg.json, {out}/sdg.json")
     print(f"FTG: {ftg.number_of_nodes()} nodes / {ftg.number_of_edges()} edges; "
           f"SDG: {sdg.number_of_nodes()} nodes / {sdg.number_of_edges()} edges")
@@ -269,7 +273,7 @@ def analyze_main(argv: List[str] | None = None) -> int:
         print(f"\nTop recommendations:")
         for rec in recs[: args.top]:
             print(f"  - {rec}")
-    (out / "insights.json").write_text(report.to_json())
+    atomic_write_text(out / "insights.json", report.to_json())
     print(f"\nWrote {out}/insights.json")
 
     if args.lint:
@@ -278,7 +282,7 @@ def analyze_main(argv: List[str] | None = None) -> int:
         for finding in lint_report.findings:
             print(f"  {finding}")
         print(lint_report.summary())
-        (out / "lint.json").write_text(lint_report.to_json())
+        atomic_write_text(out / "lint.json", lint_report.to_json())
         print(f"Wrote {out}/lint.json")
     return 0
 

@@ -3,14 +3,19 @@
 argparse ``type=`` callables centralize validation that used to be
 copy-pasted (or missing) per CLI: rejecting ``--jobs 0`` or a negative
 ``--nodes`` is a usage error everywhere, so it exits 2 with the same
-message everywhere.
+message everywhere.  :func:`diagnose_traces_dir` does the same for the
+other shared usage error — pointing a tool at a missing, non-directory,
+or trace-less path — so ``dayu-analyze``, ``dayu-lint`` and
+``dayu-compact`` all exit 2 with the same one-line diagnosis instead of
+a traceback or an ambiguous "no profiles" report.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
-__all__ = ["positive_int"]
+__all__ = ["positive_int", "diagnose_traces_dir"]
 
 
 def positive_int(value: str) -> int:
@@ -26,3 +31,26 @@ def positive_int(value: str) -> int:
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
     return n
+
+
+def diagnose_traces_dir(directory: str, trace_format: str = "auto") -> str:
+    """One-line diagnosis for a traces directory that yielded no profiles.
+
+    Distinguishes the ways a trace source can be empty — the path does
+    not exist, is not a directory, holds no recognizable trace files, or
+    holds traces but none of the requested format — so every CLI can
+    print ``prog: <diagnosis>`` and exit 2 (the documented usage-error
+    status) instead of surfacing a traceback or a misleading generic
+    message.
+    """
+    from repro.mapper.persist import TRACE_SUFFIXES, trace_paths
+
+    if not os.path.exists(directory):
+        return f"traces directory {directory!r} does not exist"
+    if not os.path.isdir(directory):
+        return f"{directory!r} is not a directory"
+    if not trace_paths(directory):
+        suffixes = "/".join(f"*{s}" for s in TRACE_SUFFIXES)
+        return (f"no saved profiles ({suffixes}) found in {directory!r}")
+    return (f"no {trace_format} profiles found in {directory!r} "
+            "(other trace formats are present; try --trace-format auto)")

@@ -1,0 +1,82 @@
+"""Atomic artifact writers shared by every DaYu component that persists
+JSON/text/binary outputs.
+
+Rationale: every ``dayu-*`` tool hands its results to another process
+through the filesystem — ``BENCH_*.json`` to CI gates, ``lint.json`` to
+diff steps, run files to a restarted ``dayu-serve``.  A plain
+``open(...).write(...)`` interrupted by a crash (or ``kill -9``) leaves a
+truncated file that the *consumer* then trips over, far from the fault.
+Writing to a temporary file in the same directory and ``os.replace``-ing
+it over the destination makes every artifact either absent or complete:
+POSIX renames within a filesystem are atomic, so no reader ever observes
+a half-written artifact.
+
+The temporary file carries a ``.tmp-`` prefix, so recovery scans (the
+service run store in particular) can both ignore and garbage-collect
+droppings from a writer that died before its rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = [
+    "TMP_PREFIX",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "is_tmp_dropping",
+]
+
+#: Prefix of in-flight temporary files (never valid artifacts).
+TMP_PREFIX = ".tmp-"
+
+PathLike = Union[str, os.PathLike]
+
+
+def is_tmp_dropping(name: str) -> bool:
+    """True for a basename left behind by an interrupted atomic write."""
+    return name.startswith(TMP_PREFIX)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary.  On any failure the
+    temporary file is removed and the destination is untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(prefix=TMP_PREFIX, suffix=path.suffix,
+                               dir=str(path.parent) or ".")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Atomic counterpart of ``Path.write_text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: PathLike, payload, indent: int = 2,
+                      sort_keys: bool = False) -> None:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    Serialization happens *before* any file is touched, so a
+    non-JSON-safe payload can never leave a partial artifact either.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_text(path, text)

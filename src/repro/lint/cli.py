@@ -47,6 +47,7 @@ code  meaning
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
@@ -156,8 +157,9 @@ def _parse_args(argv):
 
 def _emit(text: str, out_path) -> None:
     if out_path:
-        with open(out_path, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(out_path, text)
     else:
         sys.stdout.write(text)
 
@@ -296,8 +298,15 @@ def lint_main(argv: List[str] | None = None) -> int:
             print(f"dayu-lint: {exc}", file=sys.stderr)
             return 2
         if not pd_stats.get("n_groups"):
-            print(f"no columnar profiles found in {args.traces!r} "
-                  "(--pushdown reads *.dayuc traces)", file=sys.stderr)
+            from repro.cli_common import diagnose_traces_dir
+
+            if os.path.isdir(args.traces) or os.path.isfile(args.traces):
+                print(f"dayu-lint: no columnar profiles found in "
+                      f"{args.traces!r} (--pushdown reads *.dayuc traces)",
+                      file=sys.stderr)
+            else:
+                print(f"dayu-lint: {diagnose_traces_dir(args.traces)}",
+                      file=sys.stderr)
             return 2
         print(f"pushdown: {pd_stats['rules_skipped']} rule evaluation(s) "
               f"skipped, {pd_stats['rules_evaluated']} run across "
@@ -313,7 +322,9 @@ def lint_main(argv: List[str] | None = None) -> int:
             print(f"dayu-lint: {exc}", file=sys.stderr)
             return 2
         if not profiles:
-            print(f"no saved profiles found in {args.traces!r}",
+            from repro.cli_common import diagnose_traces_dir
+
+            print(f"dayu-lint: {diagnose_traces_dir(args.traces)}",
                   file=sys.stderr)
             return 2
         if args.diff:
@@ -353,15 +364,12 @@ def lint_main(argv: List[str] | None = None) -> int:
         report = report.apply_baseline(load_baseline(args.baseline))
 
     if args.sensitivity_out:
-        import json
-
+        from repro.ioutil import atomic_write_json
         from repro.lint import sensitivity_report_from_findings
 
         label = args.static or args.diff or ""
         sens = sensitivity_report_from_findings(report.findings, label)
-        with open(args.sensitivity_out, "w", encoding="utf-8") as fh:
-            json.dump(sens, fh, indent=2)
-            fh.write("\n")
+        atomic_write_json(args.sensitivity_out, sens)
 
     if args.format == "json":
         _emit(report.to_json(), args.out)

@@ -249,8 +249,9 @@ class CostReport:
         return json.dumps(self.to_json_dict(), indent=2, sort_keys=False)
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json() + "\n")
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
 
 @dataclass

@@ -337,5 +337,6 @@ def baseline_text(findings: Iterable[Finding]) -> str:
 
 
 def save_baseline(path: str, findings: Iterable[Finding]) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(baseline_text(findings))
+    from repro.ioutil import atomic_write_text
+
+    atomic_write_text(path, baseline_text(findings))

@@ -657,8 +657,9 @@ def compact_profiles(profiles: Sequence, out_path: str) -> int:
     """
     ordered = sorted(profiles, key=lambda p: p.span.start)
     data = encode_run(ordered)
-    with open(out_path, "wb") as fp:
-        fp.write(data)
+    from repro.ioutil import atomic_write_bytes
+
+    atomic_write_bytes(out_path, data)
     return len(data)
 
 

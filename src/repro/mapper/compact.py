@@ -43,15 +43,24 @@ def compact_main(argv: List[str] | None = None) -> int:
 
     import os
 
+    from repro.cli_common import diagnose_traces_dir
     from repro.mapper.columnar import compact_profiles
-    from repro.mapper.persist import load_profiles_path, trace_paths
+    from repro.mapper.persist import (
+        UnknownTraceFormat,
+        load_profiles_path,
+        trace_paths,
+    )
 
     paths = trace_paths(args.traces)
-    profiles = [p for path in paths
-                for p in load_profiles_path(
-                    path, with_io_records=not args.no_records)]
+    try:
+        profiles = [p for path in paths
+                    for p in load_profiles_path(
+                        path, with_io_records=not args.no_records)]
+    except UnknownTraceFormat as exc:
+        print(f"dayu-compact: {exc}", file=sys.stderr)
+        return 2
     if not profiles:
-        print(f"no saved profiles found in {args.traces!r}",
+        print(f"dayu-compact: {diagnose_traces_dir(args.traces)}",
               file=sys.stderr)
         return 2
     bytes_in = sum(os.path.getsize(p) for p in paths)

@@ -32,6 +32,7 @@ from typing import List
 
 from repro.analyzer.serialize import graph_to_json
 from repro.experiments.common import fresh_env
+from repro.ioutil import atomic_write_text
 from repro.monitor.bus import Backpressure
 from repro.monitor.events import MonitorEvent
 from repro.monitor.monitor import MonitorConfig
@@ -122,20 +123,24 @@ def monitor_main(argv: List[str] | None = None) -> int:
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    (out / "series.json").write_text(
-        json.dumps(monitor.dynamics.to_json_dict(), indent=2))
-    (out / "metrics.prom").write_text(monitor.render_prometheus())
-    (out / "metrics.json").write_text(
-        json.dumps(monitor.metrics_snapshot(), indent=2))
-    (out / "ftg.json").write_text(graph_to_json(monitor.snapshot_ftg()))
-    (out / "sdg.json").write_text(graph_to_json(monitor.snapshot_sdg()))
+    # All artifacts are written atomically (tmp + os.replace): a killed
+    # process leaves either the complete file or nothing for downstream
+    # gates and recovery scans to read.
+    atomic_write_text(out / "series.json",
+                      json.dumps(monitor.dynamics.to_json_dict(), indent=2))
+    atomic_write_text(out / "metrics.prom", monitor.render_prometheus())
+    atomic_write_text(out / "metrics.json",
+                      json.dumps(monitor.metrics_snapshot(), indent=2))
+    atomic_write_text(out / "ftg.json", graph_to_json(monitor.snapshot_ftg()))
+    atomic_write_text(out / "sdg.json", graph_to_json(monitor.snapshot_sdg()))
     confirmed = {f.fingerprint for f in monitor.findings}
-    (out / "alerts.json").write_text(json.dumps([
+    atomic_write_text(out / "alerts.json", json.dumps([
         {"time": a.time, "retracted": a.retracted,
          "confirmed": a.finding.fingerprint in confirmed,
          **a.finding.to_json_dict()}
         for a in monitor.alerts], indent=2))
-    (out / "bus.json").write_text(json.dumps(monitor.bus.stats(), indent=2))
+    atomic_write_text(out / "bus.json",
+                      json.dumps(monitor.bus.stats(), indent=2))
     print(f"Wrote series.json, metrics.prom, metrics.json, ftg.json, "
           f"sdg.json, alerts.json, bus.json to {out}/")
 

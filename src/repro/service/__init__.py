@@ -1,0 +1,41 @@
+"""DaYu-as-a-service: streaming trace ingest + multi-tenant query plane.
+
+See :mod:`repro.service.app` for the HTTP surface, and the CLIs:
+``dayu-serve`` (:mod:`repro.service.cli`) runs the daemon,
+``dayu-client`` (:mod:`repro.service.client`) uploads and queries.
+"""
+
+from repro.service.app import DayuService, ServiceConfig
+from repro.service.errors import (
+    AuthRequired,
+    BadName,
+    BadRequest,
+    MalformedTrace,
+    NotFound,
+    PayloadTooLarge,
+    QuotaExceeded,
+    ServiceError,
+    TruncatedTrace,
+    UnknownRun,
+)
+from repro.service.state import RunState
+from repro.service.store import RunStore, StoredTrace, TenantQuota
+
+__all__ = [
+    "DayuService",
+    "ServiceConfig",
+    "RunState",
+    "RunStore",
+    "StoredTrace",
+    "TenantQuota",
+    "ServiceError",
+    "BadRequest",
+    "TruncatedTrace",
+    "MalformedTrace",
+    "BadName",
+    "AuthRequired",
+    "NotFound",
+    "UnknownRun",
+    "QuotaExceeded",
+    "PayloadTooLarge",
+]

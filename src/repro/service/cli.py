@@ -1,0 +1,119 @@
+"""``dayu-serve`` — run the DaYu ingest + query daemon.
+
+Usage::
+
+    dayu-serve RUNS_ROOT [--host H] [--port P] [--tokens tokens.json]
+               [--quota-bytes N] [--quota-runs N] [--compact-after N]
+               [--port-file PATH]
+
+``--port 0`` (the default) binds an ephemeral port; the chosen port is
+printed on the ``listening on`` line and, with ``--port-file``, written
+atomically to a file so a supervisor (or the CI smoke job) can find it
+without parsing stdout.  ``--tokens`` names a JSON object mapping
+bearer token -> tenant; without it the server is single-tenant and
+unauthenticated.  On SIGINT/SIGTERM the server stops accepting,
+compacts every run, and exits 0 — and because every accepted upload is
+already durable, ``kill -9`` loses nothing either.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from typing import List, Optional
+
+from repro.service.app import DayuService, ServiceConfig
+from repro.service.store import TenantQuota
+
+__all__ = ["serve_main", "build_config"]
+
+
+def build_config(args: argparse.Namespace) -> ServiceConfig:
+    tokens = {}
+    if args.tokens:
+        try:
+            with open(args.tokens, "r", encoding="utf-8") as fh:
+                tokens = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"dayu-serve: cannot read token map "
+                             f"{args.tokens!r}: {exc}")
+        if (not isinstance(tokens, dict)
+                or not all(isinstance(k, str) and isinstance(v, str)
+                           for k, v in tokens.items())):
+            raise SystemExit(f"dayu-serve: token map {args.tokens!r} must "
+                             "be a JSON object of token -> tenant strings")
+    return ServiceConfig(
+        root=args.root,
+        tokens=tokens,
+        default_tenant=args.default_tenant,
+        quota=TenantQuota(max_bytes=args.quota_bytes,
+                          max_runs=args.quota_runs),
+        compact_after=args.compact_after,
+        max_body_bytes=args.max_body_bytes,
+    )
+
+
+async def _serve(config: ServiceConfig, host: str, port: int,
+                 port_file: Optional[str]) -> None:
+    service = DayuService(config)
+    bound_host, bound_port = await service.start(host, port)
+    print(f"dayu-serve: listening on http://{bound_host}:{bound_port} "
+          f"(root={config.root}, tenants="
+          f"{'token-mapped' if config.tokens else config.default_tenant!r})",
+          flush=True)
+    if port_file:
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(port_file, f"{bound_port}\n")
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    await stop.wait()
+    print("dayu-serve: shutting down (compacting runs)", flush=True)
+    await service.stop(compact=True)
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dayu-serve",
+        description="Serve DaYu trace ingest and analysis over HTTP.")
+    parser.add_argument("root", help="directory for the durable run store")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, printed at startup)")
+    parser.add_argument("--tokens", default=None, metavar="FILE",
+                        help="JSON file mapping bearer token -> tenant")
+    parser.add_argument("--default-tenant", default="public",
+                        help="tenant used when no token map is configured")
+    parser.add_argument("--quota-bytes", type=int, default=None,
+                        metavar="N", help="per-tenant stored-byte cap")
+    parser.add_argument("--quota-runs", type=int, default=None,
+                        metavar="N", help="per-tenant live-run cap")
+    parser.add_argument("--compact-after", type=int, default=64, metavar="N",
+                        help="auto-compact a run after N incoming uploads "
+                             "(0 = only on request/shutdown)")
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=64 * 1024 * 1024, metavar="N",
+                        help="largest accepted upload body")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here (atomic)")
+    args = parser.parse_args(argv)
+
+    config = build_config(args)
+    try:
+        asyncio.run(_serve(config, args.host, args.port, args.port_file))
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

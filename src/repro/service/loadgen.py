@@ -1,0 +1,176 @@
+"""Async load generator for ``dayu-serve`` — the hammer behind
+``benchmarks/bench_service.py`` and the CI ``service-smoke`` job.
+
+Spawns N concurrent clients, each holding one keep-alive connection and
+working through a deterministic share of (run, payload) upload jobs;
+after every upload the client issues the configured mix of graph and
+findings queries against the run it just touched.  Per-operation
+wall-clock latencies are recorded and summarized as nearest-rank
+percentiles so the benchmark can gate on sustained ingest throughput
+and p99 query latency under real connection concurrency (the server is
+single-event-loop, so this measures request pipelining and handler
+cost, not GIL folklore).
+
+The generator speaks minimal HTTP/1.1 directly over
+``asyncio.open_connection`` — no dependency on the server's own parser,
+which keeps it an honest counterparty.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LoadResult", "run_load", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one hammer session."""
+
+    clients: int
+    uploads: int
+    queries: int
+    errors: int
+    duration_s: float
+    ingest_bytes: int
+    uploads_per_s: float
+    ingest_mb_per_s: float
+    upload_p50_ms: float
+    upload_p99_ms: float
+    query_p50_ms: float
+    query_p99_ms: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "uploads": self.uploads,
+            "queries": self.queries,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 6),
+            "ingest_bytes": self.ingest_bytes,
+            "uploads_per_s": round(self.uploads_per_s, 3),
+            "ingest_mb_per_s": round(self.ingest_mb_per_s, 3),
+            "upload_p50_ms": round(self.upload_p50_ms, 3),
+            "upload_p99_ms": round(self.upload_p99_ms, 3),
+            "query_p50_ms": round(self.query_p50_ms, 3),
+            "query_p99_ms": round(self.query_p99_ms, 3),
+        }
+
+
+async def _request(reader: asyncio.StreamReader,
+                   writer: asyncio.StreamWriter, method: str, path: str,
+                   headers: Dict[str, str],
+                   body: bytes = b"") -> Tuple[int, bytes]:
+    head = [f"{method} {path} HTTP/1.1", "Host: dayu"]
+    head.extend(f"{k}: {v}" for k, v in headers.items())
+    head.append(f"Content-Length: {len(body)}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = await reader.readexactly(length) if length else b""
+    return status, payload
+
+
+async def _worker(host: str, port: int, jobs: List[Tuple[str, bytes]],
+                  query_kinds: Sequence[str], token: Optional[str],
+                  upload_lat: List[float], query_lat: List[float],
+                  errors: List[int]) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    headers: Dict[str, str] = {}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    try:
+        for run, payload in jobs:
+            started = time.perf_counter()
+            status, _ = await _request(reader, writer, "POST",
+                                       f"/runs/{run}/traces", headers,
+                                       payload)
+            upload_lat.append(time.perf_counter() - started)
+            if status != 200:
+                errors[0] += 1
+                continue
+            for kind in query_kinds:
+                started = time.perf_counter()
+                status, _ = await _request(reader, writer, "GET",
+                                           f"/runs/{run}/{kind}", headers)
+                query_lat.append(time.perf_counter() - started)
+                if status != 200:
+                    errors[0] += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def run_load_async(host: str, port: int,
+                         jobs: Sequence[Tuple[str, bytes]],
+                         clients: int = 8,
+                         query_kinds: Sequence[str] = ("ftg", "sdg",
+                                                       "findings"),
+                         token: Optional[str] = None) -> LoadResult:
+    """Hammer the service with ``jobs`` spread round-robin over
+    ``clients`` concurrent connections."""
+    shares: List[List[Tuple[str, bytes]]] = [[] for _ in range(clients)]
+    for i, job in enumerate(jobs):
+        shares[i % clients].append(job)
+    upload_lat: List[float] = []
+    query_lat: List[float] = []
+    errors = [0]
+    started = time.perf_counter()
+    await asyncio.gather(*(
+        _worker(host, port, share, query_kinds, token,
+                upload_lat, query_lat, errors)
+        for share in shares if share))
+    duration = time.perf_counter() - started
+    ingest_bytes = sum(len(p) for _, p in jobs)
+    return LoadResult(
+        clients=clients,
+        uploads=len(upload_lat),
+        queries=len(query_lat),
+        errors=errors[0],
+        duration_s=duration,
+        ingest_bytes=ingest_bytes,
+        uploads_per_s=len(upload_lat) / duration if duration else 0.0,
+        ingest_mb_per_s=(ingest_bytes / 1e6) / duration if duration else 0.0,
+        upload_p50_ms=percentile(upload_lat, 50) * 1e3,
+        upload_p99_ms=percentile(upload_lat, 99) * 1e3,
+        query_p50_ms=percentile(query_lat, 50) * 1e3,
+        query_p99_ms=percentile(query_lat, 99) * 1e3,
+    )
+
+
+def run_load(host: str, port: int, jobs: Sequence[Tuple[str, bytes]],
+             clients: int = 8,
+             query_kinds: Sequence[str] = ("ftg", "sdg", "findings"),
+             token: Optional[str] = None) -> LoadResult:
+    """Synchronous wrapper around :func:`run_load_async` for callers
+    outside an event loop (benchmarks, CI)."""
+    return asyncio.run(run_load_async(host, port, jobs, clients=clients,
+                                      query_kinds=query_kinds, token=token))

@@ -1,0 +1,144 @@
+"""Per-run incremental analysis state for the query plane.
+
+One :class:`RunState` per live run: it folds uploaded profiles into the
+same incremental :class:`~repro.analyzer.graphs.GraphBuilder` the
+offline analyzer and the PR 4 :class:`~repro.monitor.aggregate.LiveAggregator`
+use, and memoizes the rendered query payloads (canonical FTG/SDG JSON,
+lint findings JSON) between ingests so a hot ``GET`` is a dict lookup,
+not a graph rebuild.
+
+**Determinism.**  The offline reference pipeline — ``dayu-compact`` over
+a trace directory, then ``dayu-analyze --graph-json --lint`` — orders
+profiles by task start time (ties: sorted trace filename, i.e. task
+name).  Upload *arrival* order under many concurrent clients is
+nondeterministic, so the state orders profiles by the same total key
+``(span.start, task)`` regardless of arrival: in-order arrivals extend
+the fold incrementally (the common case — tasks finish roughly in start
+order), while an out-of-order arrival marks the builders stale and the
+next snapshot refolds from the sorted list.  Either way every query
+observes the canonical order, which is what makes service-built graphs
+and findings byte-identical to the offline pipeline for any seeded
+interleaving of uploading clients.
+
+Lint mirrors ``dayu-analyze --lint``: profiles decoded without
+per-operation records, default :class:`~repro.lint.rules.LintConfig`,
+findings serialized by :meth:`~repro.lint.engine.LintReport.to_json` —
+with the tenant baseline applied first when one is installed (the
+``dayu-lint --baseline`` semantics).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analyzer.graphs import GraphBuilder
+
+__all__ = ["RunState"]
+
+
+def _key(profile) -> Tuple[float, str]:
+    return (profile.span.start, profile.task)
+
+
+class RunState:
+    """Incrementally folded FTG/SDG + memoized query renderings."""
+
+    def __init__(self, profiles: Optional[List] = None) -> None:
+        #: Profiles in canonical (start, task) order.
+        self.profiles: List = []
+        self._keys: List[Tuple[float, str]] = []
+        self.tasks: Set[str] = set()
+        self._ftg = GraphBuilder("ftg")
+        self._sdg = GraphBuilder("sdg")
+        #: Leading profiles already folded into the builders.
+        self._folded = 0
+        #: Bumped on every ingest; keys the render memo.
+        self.version = 0
+        self._rendered: Dict[object, str] = {}
+        if profiles:
+            self.add_profiles(profiles)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_profiles(self, profiles) -> int:
+        """Fold new profiles in; duplicate tasks are ignored (idempotent
+        re-upload).  Returns the number actually added."""
+        added = 0
+        for profile in profiles:
+            if profile.task in self.tasks:
+                continue
+            key = _key(profile)
+            idx = bisect.bisect_left(self._keys, key)
+            self._keys.insert(idx, key)
+            self.profiles.insert(idx, profile)
+            self.tasks.add(profile.task)
+            if idx < self._folded:
+                # Arrived out of canonical order behind the folded
+                # prefix: the incremental fold no longer matches the
+                # sorted sequence.  Refold lazily at next snapshot.
+                self._ftg = GraphBuilder("ftg")
+                self._sdg = GraphBuilder("sdg")
+                self._folded = 0
+            added += 1
+        if added:
+            self.version += 1
+            self._rendered.clear()
+        return added
+
+    def _fold(self) -> None:
+        for profile in self.profiles[self._folded:]:
+            self._ftg.add_profile(profile)
+            self._sdg.add_profile(profile)
+        self._folded = len(self.profiles)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot_ftg(self):
+        self._fold()
+        return self._ftg.build(copy=True)
+
+    def snapshot_sdg(self):
+        self._fold()
+        return self._sdg.build(copy=True)
+
+    # ------------------------------------------------------------------
+    # Rendered query payloads (memoized per version)
+    # ------------------------------------------------------------------
+    def graph_json(self, kind: str) -> str:
+        """Canonical ``ftg``/``sdg`` JSON — byte-identical to
+        ``dayu-analyze --graph-json`` over the same profiles."""
+        cached = self._rendered.get(kind)
+        if cached is None:
+            from repro.analyzer.serialize import graph_to_json
+
+            graph = (self.snapshot_ftg() if kind == "ftg"
+                     else self.snapshot_sdg())
+            cached = self._rendered[kind] = graph_to_json(graph) + "\n"
+        return cached
+
+    def findings_json(self, baseline: Optional[Set[str]] = None,
+                      baseline_version: int = 0) -> str:
+        """Lint report JSON — byte-identical to ``dayu-analyze --lint``'s
+        ``lint.json`` (after tenant-baseline suppression, if any)."""
+        memo = ("findings", baseline_version)
+        cached = self._rendered.get(memo)
+        if cached is None:
+            from repro.lint import LintConfig, lint_profiles
+
+            report = lint_profiles(self.profiles, LintConfig())
+            if baseline:
+                report = report.apply_baseline(baseline)
+            cached = self._rendered[memo] = report.to_json()
+        return cached
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The ``/runs`` row for this run."""
+        return {
+            "profiles": len(self.profiles),
+            "tasks": sorted(self.tasks),
+            "version": self.version,
+        }

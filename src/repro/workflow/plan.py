@@ -129,8 +129,9 @@ class PlacementPlan:
         return json.dumps(self.to_json_dict(), indent=2) + "\n"
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "PlacementPlan":

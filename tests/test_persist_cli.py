@@ -148,8 +148,20 @@ class TestCli:
                           if l.startswith("Inferred task order"))
         assert order_line.index("aggregate") < order_line.index("training")
 
-    def test_analyze_empty_dir_fails(self, tmp_path):
-        assert analyze_main([str(tmp_path)]) == 1
+    def test_analyze_empty_dir_exits_2(self, tmp_path, capsys):
+        # Usage error, same one-line diagnosis + status as dayu-lint and
+        # dayu-compact (the documented exit-code table).
+        assert analyze_main([str(tmp_path)]) == 2
+        assert "no saved profiles" in capsys.readouterr().err
+
+    def test_analyze_missing_dir_exits_2(self, tmp_path, capsys):
+        assert analyze_main([str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_analyze_truncated_trace_exits_2(self, tmp_path, capsys):
+        (tmp_path / "t.dayu").write_bytes(b"DY")
+        assert analyze_main([str(tmp_path)]) == 2
+        assert "too short" in capsys.readouterr().err
 
     def test_unknown_workload_rejected(self, tmp_path):
         with pytest.raises(SystemExit):

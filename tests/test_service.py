@@ -1,0 +1,647 @@
+"""Tests for ``repro.service`` — the streaming ingest + query plane.
+
+Covers the atomic-write helpers (:mod:`repro.ioutil`), the durable
+multi-tenant :class:`RunStore`, the deterministic :class:`RunState`
+fold, the HTTP surface end to end (via a real server on an ephemeral
+port), and the acceptance property: seeded interleavings of N
+concurrent uploading clients produce FTG/SDG/findings byte-identical
+to the offline ``dayu-compact`` + ``dayu-analyze`` pipeline — including
+after a simulated ``kill -9`` and restart.
+"""
+
+import asyncio
+import json
+import random
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ioutil
+from repro.cli import analyze_main, run_main
+from repro.mapper import DaYuConfig, DataSemanticMapper
+from repro.mapper.compact import compact_main
+from repro.mapper.persist import load_profiles_from_host_dir
+from repro.posix import SimFS
+from repro.service import DayuService, RunState, RunStore, ServiceConfig, TenantQuota
+from repro.service.client import ServiceClient, ServiceClientError, client_main
+from repro.service.errors import BadName, QuotaExceeded, UnknownRun
+from repro.service.loadgen import percentile, run_load
+from repro.simclock import SimClock
+from repro.storage import Mount, make_device
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ddmd(tmp_path_factory):
+    """A small ddmd run plus its offline reference artifacts:
+    ``dayu-compact`` over the traces, then ``dayu-analyze
+    --graph-json --lint`` over the compacted run."""
+    base = tmp_path_factory.mktemp("ddmd")
+    traces = base / "traces"
+    assert run_main(["ddmd", "--out", str(traces), "--scale", "0.25",
+                     "--nodes", "2"]) == 0
+    compacted = base / "compacted"
+    compacted.mkdir()
+    assert compact_main([str(traces), "--out",
+                         str(compacted / "run.dayuc")]) == 0
+    ref = base / "ref"
+    assert analyze_main([str(compacted), "--out", str(ref),
+                         "--graph-json", "--lint"]) == 0
+    return {
+        "traces": traces,
+        "ftg": (ref / "ftg.json").read_bytes(),
+        "sdg": (ref / "sdg.json").read_bytes(),
+        "lint": (ref / "lint.json").read_bytes(),
+    }
+
+
+@pytest.fixture()
+def small_profiles():
+    """Three tiny profiles with distinct spans (producer/consumer/reader)."""
+    clock = SimClock()
+    fs = SimFS(clock, mounts=[Mount("/", make_device("nvme"))])
+    mapper = DataSemanticMapper(clock, DaYuConfig())
+    with mapper.task("producer") as ctx:
+        f = ctx.open(fs, "/d.h5", "w")
+        f.create_dataset("x", shape=(64,), dtype="f8", layout="chunked",
+                         chunks=(16,), data=np.arange(64.0))
+        f.close()
+    with mapper.task("consumer") as ctx:
+        f = ctx.open(fs, "/d.h5", "r")
+        f["x"].read()
+        f.close()
+    with mapper.task("reader") as ctx:
+        f = ctx.open(fs, "/d.h5", "r")
+        f["x"].read()
+        f.close()
+    return list(mapper.profiles.values())
+
+
+class ServiceThread:
+    """Run a :class:`DayuService` event loop in a background thread so
+    synchronous test code (and the async load generator, on its own
+    loop) can talk to a real listening socket."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.service = DayuService(config)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.host = self.port = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self.host, self.port = self._loop.run_until_complete(
+            self.service.start())
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.close()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        assert self._ready.wait(10), "service failed to start"
+        return self
+
+    def stop(self, compact: bool = False) -> None:
+        """Graceful stop; ``compact=False`` leaves the store exactly as
+        acknowledged — the closest a test gets to ``kill -9``."""
+        fut = asyncio.run_coroutine_threadsafe(
+            self.service.stop(compact=compact), self._loop)
+        fut.result(10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10)
+
+    def client(self, token=None) -> ServiceClient:
+        return ServiceClient(self.host, self.port, token=token)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    st = ServiceThread(ServiceConfig(root=str(tmp_path / "store"),
+                                     compact_after=0)).start()
+    yield st
+    st.stop()
+
+
+# ----------------------------------------------------------------------
+# ioutil: atomic writers
+# ----------------------------------------------------------------------
+class TestAtomicWriters:
+    def test_text_bytes_json_round_trip(self, tmp_path):
+        ioutil.atomic_write_text(tmp_path / "a.txt", "hi\n")
+        assert (tmp_path / "a.txt").read_text() == "hi\n"
+        ioutil.atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert (tmp_path / "b.bin").read_bytes() == b"\x00\x01"
+        ioutil.atomic_write_json(tmp_path / "c.json", {"b": 1, "a": 2},
+                                 sort_keys=True)
+        text = (tmp_path / "c.json").read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 2, "b": 1}
+
+    def test_no_tmp_droppings_after_success(self, tmp_path):
+        ioutil.atomic_write_text(tmp_path / "a.txt", "x")
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["a.txt"]
+
+    def test_unserializable_json_leaves_no_file(self, tmp_path):
+        target = tmp_path / "bad.json"
+        with pytest.raises(TypeError):
+            ioutil.atomic_write_json(target, {"x": {1, 2}})
+        assert not target.exists()
+        assert not any(ioutil.is_tmp_dropping(p.name)
+                       for p in tmp_path.iterdir())
+
+    def test_replace_is_atomic_over_existing(self, tmp_path):
+        target = tmp_path / "a.txt"
+        ioutil.atomic_write_text(target, "old")
+        ioutil.atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_is_tmp_dropping(self):
+        assert ioutil.is_tmp_dropping(".tmp-abc123")
+        assert not ioutil.is_tmp_dropping("run.dayuc")
+
+
+# ----------------------------------------------------------------------
+# RunStore
+# ----------------------------------------------------------------------
+class TestRunStore:
+    def test_append_sequences_and_accounting(self, tmp_path, small_profiles):
+        store = RunStore(tmp_path / "s")
+        p = small_profiles[0]
+        r1 = store.append("t", "r", p.serialize(), "json")
+        r2 = store.append("t", "r", p.serialize_binary(), "binary")
+        assert (r1.seq, r2.seq) == (1, 2)
+        assert r1.path.endswith("000001.json")
+        assert r2.path.endswith("000002.dayu")
+        assert store.bytes_used("t") == r1.nbytes + r2.nbytes
+
+    def test_byte_quota_rejects_before_disk(self, tmp_path, small_profiles):
+        store = RunStore(tmp_path / "s",
+                         default_quota=TenantQuota(max_bytes=10))
+        payload = small_profiles[0].serialize()
+        with pytest.raises(QuotaExceeded) as exc:
+            store.append("t", "r", payload, "json")
+        assert exc.value.details["max_bytes"] == 10
+        assert store.bytes_used("t") == 0
+        assert not store.run_exists("t", "r")
+
+    def test_run_quota(self, tmp_path, small_profiles):
+        store = RunStore(tmp_path / "s",
+                         default_quota=TenantQuota(max_runs=1))
+        payload = small_profiles[0].serialize()
+        store.append("t", "r1", payload, "json")
+        with pytest.raises(QuotaExceeded):
+            store.append("t", "r2", payload, "json")
+        store.append("t", "r1", payload, "json")  # existing run still OK
+
+    def test_bad_names_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        with pytest.raises(BadName):
+            store.append("t", "../escape", b"DYU1", "binary")
+        with pytest.raises(BadName):
+            store.append("bad/tenant", "r", b"DYU1", "binary")
+
+    def test_scan_gc_and_seq_resume(self, tmp_path, small_profiles):
+        root = tmp_path / "s"
+        store = RunStore(root)
+        payload = small_profiles[0].serialize()
+        store.append("t", "r", payload, "json")
+        store.append("t", "r", small_profiles[1].serialize(),
+                     "json")
+        # A writer died mid-upload: only its tmp dropping remains.
+        dropping = store.incoming_dir("t", "r") / ".tmp-deadbeef"
+        dropping.write_bytes(b"partial")
+        reopened = RunStore(root)
+        assert not dropping.exists()
+        receipt = reopened.append("t", "r",
+                                  small_profiles[2].serialize(),
+                                  "json")
+        assert receipt.seq == 3
+        assert reopened.bytes_used("t") == store.bytes_used("t") \
+            + receipt.nbytes
+
+    def test_duplicate_task_dedup(self, tmp_path, small_profiles):
+        store = RunStore(tmp_path / "s")
+        payload = small_profiles[0].serialize()
+        store.append("t", "r", payload, "json")
+        store.append("t", "r", payload, "json")
+        profiles = store.load_profiles("t", "r")
+        assert [p.task for p in profiles] == [small_profiles[0].task]
+
+    def test_compact_preserves_profiles_and_shrinks(self, tmp_path,
+                                                    small_profiles):
+        store = RunStore(tmp_path / "s")
+        for p in small_profiles:
+            store.append("t", "r", p.serialize(), "json")
+        before = {p.task for p in store.load_profiles("t", "r")}
+        used_before = store.bytes_used("t")
+        nbytes = store.compact("t", "r")
+        assert nbytes > 0
+        assert store.incoming("t", "r") == []
+        assert store.run_file("t", "r").exists()
+        assert {p.task for p in store.load_profiles("t", "r")} == before
+        assert store.bytes_used("t") == nbytes < used_before
+        assert store.compact("t", "r") == 0  # nothing new
+
+    def test_crash_between_compact_and_cleanup(self, tmp_path,
+                                               small_profiles):
+        """run.dayuc written but incoming not yet deleted: every task
+        still counts exactly once (run file wins)."""
+        store = RunStore(tmp_path / "s")
+        payload = small_profiles[0].serialize()
+        store.append("t", "r", payload, "json")
+        store.compact("t", "r")
+        # Re-materialize the absorbed incoming file, as if the crash
+        # happened between the rename and the unlink.
+        leftover = store.incoming_dir("t", "r") / "000001.json"
+        leftover.write_bytes(payload)
+        reopened = RunStore(tmp_path / "s")
+        profiles = reopened.load_profiles("t", "r")
+        assert [p.task for p in profiles] == [small_profiles[0].task]
+
+    def test_delete_run_frees_quota(self, tmp_path, small_profiles):
+        store = RunStore(tmp_path / "s")
+        store.append("t", "r", small_profiles[0].serialize(),
+                     "json")
+        freed = store.delete_run("t", "r")
+        assert freed > 0
+        assert store.bytes_used("t") == 0
+        with pytest.raises(UnknownRun):
+            store.load_profiles("t", "r")
+
+    def test_baseline_round_trip_and_version(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        assert store.baseline("t") == set()
+        assert store.baseline_version("t") == 0
+        n = store.set_baseline("t", "abc123  # DY103 foo\n")
+        assert n == 1
+        assert store.baseline("t") == {"abc123"}
+        assert store.baseline_version("t") == 1
+
+
+# ----------------------------------------------------------------------
+# RunState determinism
+# ----------------------------------------------------------------------
+class TestRunState:
+    def test_any_arrival_order_same_bytes(self, ddmd):
+        profiles = load_profiles_from_host_dir(str(ddmd["traces"]),
+                                               with_io_records=False)
+        reference = RunState(sorted(profiles,
+                                    key=lambda p: (p.span.start, p.task)))
+        ref_ftg = reference.graph_json("ftg")
+        ref_sdg = reference.graph_json("sdg")
+        ref_findings = reference.findings_json()
+        for seed in range(5):
+            shuffled = list(profiles)
+            random.Random(seed).shuffle(shuffled)
+            state = RunState()
+            # Deliver in uneven chunks, like interleaved uploads.
+            rng = random.Random(seed + 100)
+            i = 0
+            while i < len(shuffled):
+                n = rng.randint(1, 3)
+                state.add_profiles(shuffled[i:i + n])
+                i += n
+            assert state.graph_json("ftg") == ref_ftg, f"seed {seed}"
+            assert state.graph_json("sdg") == ref_sdg, f"seed {seed}"
+            assert state.findings_json() == ref_findings, f"seed {seed}"
+
+    def test_duplicate_tasks_ignored(self, small_profiles):
+        state = RunState(small_profiles)
+        v = state.version
+        assert state.add_profiles(small_profiles) == 0
+        assert state.version == v
+
+    def test_incremental_matches_refold(self, small_profiles):
+        ordered = sorted(small_profiles,
+                         key=lambda p: (p.span.start, p.task))
+        # In-order: pure incremental fold, no rebuild.
+        inc = RunState()
+        for p in ordered:
+            inc.add_profiles([p])
+        # Reverse order: every add lands before the folded prefix.
+        rev = RunState()
+        for p in reversed(ordered):
+            rev.add_profiles([p])
+        assert inc.graph_json("ftg") == rev.graph_json("ftg")
+        assert inc.graph_json("sdg") == rev.graph_json("sdg")
+
+
+# ----------------------------------------------------------------------
+# HTTP surface
+# ----------------------------------------------------------------------
+class TestServiceHttp:
+    def test_healthz_and_unknown_endpoint(self, server):
+        with server.client() as c:
+            assert c.healthz() == {"status": "ok"}
+            with pytest.raises(ServiceClientError) as exc:
+                c._json("GET", "/nope")
+            assert exc.value.status == 404
+            assert exc.value.code == "not-found"
+
+    def test_upload_all_three_formats(self, server, small_profiles):
+        with server.client() as c:
+            p1, p2, p3 = small_profiles
+            r = c.upload("r", p1.serialize())
+            assert (r["format"], r["added"]) == ("json", 1)
+            r = c.upload("r", p2.serialize_binary())
+            assert (r["format"], r["added"]) == ("binary", 1)
+            r = c.upload("r", p3.serialize_columnar())
+            assert (r["format"], r["added"]) == ("columnar", 1)
+            info = c.run_info("r")
+            assert info["profiles"] == 3
+            assert info["tasks"] == sorted(p.task for p in small_profiles)
+
+    def test_truncated_upload_typed_error(self, server):
+        with server.client() as c:
+            for payload in (b"", b"DY"):
+                with pytest.raises(ServiceClientError) as exc:
+                    c.upload("r", payload)
+                assert exc.value.status == 400
+                assert exc.value.code == "unknown-trace-format"
+                assert exc.value.details["size"] == len(payload)
+            # Nothing was stored for the rejected uploads.
+            assert c.runs()["runs"] == []
+
+    def test_malformed_upload_typed_error(self, server):
+        with server.client() as c:
+            with pytest.raises(ServiceClientError) as exc:
+                c.upload("r", b"DYU1garbage-after-magic")
+            assert exc.value.code == "malformed-trace"
+            assert exc.value.details["format"] == "binary"
+            assert c.runs()["bytes_used"] == 0
+
+    def test_chunked_upload_equivalent(self, server, small_profiles):
+        with server.client() as c:
+            payload = small_profiles[0].serialize()
+            r = c.upload("r", payload, chunked=True)
+            assert r["added"] == 1 and r["bytes"] == len(payload)
+            # Same trace re-uploaded plainly: stored, but folds to 0 new.
+            assert c.upload("r", payload)["added"] == 0
+
+    def test_unknown_run_and_bad_name(self, server):
+        with server.client() as c:
+            with pytest.raises(ServiceClientError) as exc:
+                c.graph("ghost", "ftg")
+            assert exc.value.code == "unknown-run"
+            with pytest.raises(ServiceClientError) as exc:
+                c.upload("..", b"DYU1")
+            assert exc.value.code == "bad-name"
+
+    def test_method_not_allowed(self, server):
+        with server.client() as c:
+            with pytest.raises(ServiceClientError) as exc:
+                c._json("DELETE", "/runs")
+            assert exc.value.status == 405
+
+    def test_metrics_exposition(self, server, small_profiles):
+        with server.client() as c:
+            c.upload("r", small_profiles[0].serialize())
+            c.graph("r", "ftg")
+            text = c.metrics()
+        samples = {}
+        for line in text.splitlines():
+            assert line.startswith(("#", "dayu_")), line
+            if not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                samples[name] = float(value)
+        assert samples['dayu_service_ingest_traces_total{tenant="public"}'] \
+            == 1.0
+        assert any(k.startswith("dayu_service_requests_total")
+                   for k in samples)
+        assert any(k.startswith("dayu_service_request_seconds_bucket")
+                   for k in samples)
+
+    def test_delete_run(self, server, small_profiles):
+        with server.client() as c:
+            c.upload("r", small_profiles[0].serialize())
+            assert c.delete("r")["freed_bytes"] > 0
+            with pytest.raises(ServiceClientError) as exc:
+                c.run_info("r")
+            assert exc.value.code == "unknown-run"
+
+
+class TestTenancy:
+    @pytest.fixture()
+    def multi(self, tmp_path):
+        config = ServiceConfig(
+            root=str(tmp_path / "store"),
+            tokens={"tok-a": "alice", "tok-b": "bob"},
+            quotas={"bob": TenantQuota(max_bytes=100)},
+            compact_after=0)
+        st = ServiceThread(config).start()
+        yield st
+        st.stop()
+
+    def test_auth_required_and_unknown_token(self, multi):
+        with multi.client() as c:
+            with pytest.raises(ServiceClientError) as exc:
+                c.runs()
+            assert exc.value.status == 401
+        with multi.client(token="wrong") as c:
+            with pytest.raises(ServiceClientError) as exc:
+                c.runs()
+            assert exc.value.code == "unauthorized"
+
+    def test_tenants_are_isolated(self, multi, small_profiles):
+        with multi.client(token="tok-a") as alice:
+            alice.upload("r", small_profiles[0].serialize())
+            assert [r["run"] for r in alice.runs()["runs"]] == ["r"]
+        with multi.client(token="tok-b") as bob:
+            assert bob.runs()["runs"] == []
+            with pytest.raises(ServiceClientError) as exc:
+                bob.graph("r", "ftg")
+            assert exc.value.code == "unknown-run"
+
+    def test_per_tenant_quota(self, multi, small_profiles):
+        payload = small_profiles[0].serialize()
+        with multi.client(token="tok-b") as bob:
+            with pytest.raises(ServiceClientError) as exc:
+                bob.upload("r", payload)
+            assert exc.value.status == 413
+            assert exc.value.code == "quota-exceeded"
+        # Alice's default quota is unlimited.
+        with multi.client(token="tok-a") as alice:
+            assert alice.upload("r", payload)["added"] == 1
+
+    def test_per_tenant_baseline_suppression(self, multi, ddmd):
+        with multi.client(token="tok-a") as alice:
+            for path in sorted(ddmd["traces"].iterdir()):
+                alice.upload("ddmd", path.read_bytes())
+            report = json.loads(alice.findings("ddmd"))
+            assert report["findings"], "expected lint findings"
+            fingerprint = report["findings"][0]["fingerprint"]
+            alice.set_baseline(f"{fingerprint}  # accepted\n")
+            after = json.loads(alice.findings("ddmd"))
+            assert fingerprint in after["suppressed"]
+            assert fingerprint not in {f["fingerprint"]
+                                       for f in after["findings"]}
+            assert alice.baseline().startswith(fingerprint)
+        # Bob's view of the same fingerprints is unaffected (his quota
+        # blocks uploads, so just check his baseline is independent).
+        with multi.client(token="tok-b") as bob:
+            assert bob.baseline() == ""
+
+
+# ----------------------------------------------------------------------
+# Acceptance: concurrent ingest determinism + recovery
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    def _assert_identical(self, client, run, ddmd):
+        assert client.graph(run, "ftg").encode() == ddmd["ftg"]
+        assert client.graph(run, "sdg").encode() == ddmd["sdg"]
+        assert client.findings(run).encode() == ddmd["lint"]
+
+    def test_concurrent_clients_match_offline(self, server, ddmd):
+        payloads = [p.read_bytes()
+                    for p in sorted(ddmd["traces"].iterdir())]
+        for seed, clients in ((0, 2), (1, 4), (2, 6)):
+            run = f"run-seed{seed}"
+            jobs = [(run, payload) for payload in payloads]
+            random.Random(seed).shuffle(jobs)
+            result = run_load(server.host, server.port, jobs,
+                              clients=clients)
+            assert result.errors == 0
+            assert result.uploads == len(payloads)
+            assert result.queries == 3 * len(payloads)
+            with server.client() as c:
+                self._assert_identical(c, run, ddmd)
+
+    def test_kill_and_restart_recovers_every_run(self, tmp_path, ddmd):
+        root = str(tmp_path / "store")
+        payloads = [p.read_bytes()
+                    for p in sorted(ddmd["traces"].iterdir())]
+        first = ServiceThread(ServiceConfig(root=root,
+                                            compact_after=0)).start()
+        with first.client() as c:
+            for payload in payloads:
+                c.upload("full", payload)
+            for payload in payloads:
+                c.upload("compacted", payload)
+            c.compact("compacted")
+        # No graceful compaction pass: the store holds exactly what was
+        # acknowledged, as after kill -9.
+        first.stop(compact=False)
+
+        second = ServiceThread(ServiceConfig(root=root,
+                                             compact_after=0)).start()
+        try:
+            with second.client() as c:
+                names = [r["run"] for r in c.runs()["runs"]]
+                assert names == ["compacted", "full"]
+                self._assert_identical(c, "full", ddmd)
+                self._assert_identical(c, "compacted", ddmd)
+        finally:
+            second.stop()
+
+    def test_auto_compaction_preserves_identity(self, tmp_path, ddmd):
+        st = ServiceThread(ServiceConfig(root=str(tmp_path / "store"),
+                                         compact_after=3)).start()
+        try:
+            with st.client() as c:
+                for p in sorted(ddmd["traces"].iterdir()):
+                    c.upload("r", p.read_bytes())
+                # 6 uploads with compact_after=3: incoming was folded.
+                assert len(st.service.store.incoming("public", "r")) < 6
+                self._assert_identical(c, "r", ddmd)
+        finally:
+            st.stop()
+
+
+# ----------------------------------------------------------------------
+# CLIs
+# ----------------------------------------------------------------------
+class TestClientCli:
+    def test_upload_get_round_trip(self, server, ddmd, tmp_path, capsys):
+        url = f"http://{server.host}:{server.port}"
+        assert client_main([url, "upload", "r",
+                            str(ddmd["traces"])]) == 0
+        out = capsys.readouterr().out
+        assert "done: 6 trace(s)" in out
+        out_file = tmp_path / "ftg.json"
+        assert client_main([url, "get", "r", "ftg",
+                            "--out", str(out_file)]) == 0
+        assert out_file.read_bytes() == ddmd["ftg"]
+        assert client_main([url, "runs"]) == 0
+        assert '"r"' in capsys.readouterr().out
+        assert client_main([url, "metrics"]) == 0
+        assert "dayu_service_ingest_bytes_total" in capsys.readouterr().out
+        assert client_main([url, "compact", "r"]) == 0
+
+    def test_missing_trace_path_exits_2(self, server, tmp_path, capsys):
+        url = f"http://{server.host}:{server.port}"
+        assert client_main([url, "upload", "r",
+                            str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_server_rejection_exits_1(self, server, tmp_path, capsys):
+        url = f"http://{server.host}:{server.port}"
+        bad = tmp_path / "bad.dayu"
+        bad.write_bytes(b"DY")
+        assert client_main([url, "upload", "r", str(bad)]) == 1
+        assert "unknown-trace-format" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_2(self, capsys):
+        assert client_main(["http://127.0.0.1:1", "runs"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_daemon_lifecycle(self, tmp_path, ddmd):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.cli",
+             str(tmp_path / "store"), "--port-file", str(port_file)],
+            cwd=str(Path(__file__).resolve().parents[1]),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        try:
+            deadline = time.time() + 30
+            while not port_file.exists():
+                assert proc.poll() is None, proc.stdout.read().decode()
+                assert time.time() < deadline, "server never wrote port"
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+            with ServiceClient("127.0.0.1", port) as c:
+                assert c.healthz() == {"status": "ok"}
+                trace = next(iter(sorted(ddmd["traces"].iterdir())))
+                assert c.upload("r", trace.read_bytes())["added"] == 1
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            # Graceful shutdown compacted the run.
+            store = RunStore(tmp_path / "store")
+            assert store.run_file("public", "r").exists()
+            assert store.incoming("public", "r") == []
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_bad_token_file_exits_with_diagnosis(self, tmp_path):
+        from repro.service.cli import serve_main
+
+        with pytest.raises(SystemExit) as exc:
+            serve_main([str(tmp_path / "store"), "--tokens",
+                        str(tmp_path / "missing.json")])
+        assert "cannot read token map" in str(exc.value)
+
+
+class TestLoadgenHelpers:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 99) == 0.0
+        samples = list(range(1, 101))
+        assert percentile(samples, 50) == 50
+        assert percentile(samples, 99) == 99
+        assert percentile(samples, 100) == 100
