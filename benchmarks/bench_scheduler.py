@@ -1,0 +1,100 @@
+"""Event-scheduler benchmark: gates ``repro.workflow.dscheduler`` and
+records ``BENCH_scheduler.json`` at the repo root.
+
+Two gates:
+
+- **decision overhead** — the full decision engine (ready-heap pops,
+  upward-rank priorities, locality placement with work stealing, slot
+  accounting) scheduling a ~100k-task layered DAG must average under a
+  millisecond of host wall-clock per placement decision.  That is the
+  property that makes per-task dispatch viable at workflow scale — a
+  stage-at-a-time scheduler makes O(stages) decisions, the event engine
+  makes O(tasks).
+- **locality beats round-robin** — on the producer/fan-of-consumers
+  fixture with a transparent node-local cache, locality placement must
+  produce strictly fewer replication misses *and* a strictly shorter
+  makespan than round-robin spreading.  This is the paper's fig11
+  co-scheduling effect expressed as a scheduler property.
+
+``DAYU_SMOKE=1`` shrinks the DAG and relaxes the per-decision ceiling
+for noisy CI runners (the locality gate never relaxes).
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.dataflow_scheduler import (
+    build_synthetic_dag,
+    run_locality_fixture,
+)
+from repro.workflow.dscheduler import DataflowScheduler, upward_ranks
+
+BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+_SMOKE = os.environ.get("DAYU_SMOKE") == "1"
+
+
+def _run_decision_benchmark(n_tasks: int) -> dict:
+    graph = build_synthetic_dag(n_tasks, width=256, fan_in=3)
+    # Deterministic non-uniform durations and weights (no RNG — replay).
+    durations = {name: (i % 11 + 1) * 0.25
+                 for i, name in enumerate(graph.entries)}
+    build_start = time.perf_counter()
+    ranks = upward_ranks(graph, durations)
+    rank_seconds = time.perf_counter() - build_start
+    engine = DataflowScheduler(
+        graph,
+        slots={f"n{i}": 16 for i in range(8)},
+        policy="locality",
+        priorities=ranks,
+    )
+    start = time.perf_counter()
+    schedule = engine.simulate(durations)
+    elapsed = time.perf_counter() - start
+    return {
+        "n_tasks": graph.n_tasks,
+        "n_edges": graph.n_edges,
+        "decisions": schedule.decisions,
+        "steals": schedule.steals,
+        "virtual_makespan": schedule.makespan,
+        "rank_seconds": rank_seconds,
+        "schedule_seconds": elapsed,
+        "mean_decision_us": elapsed / schedule.decisions * 1e6,
+    }
+
+
+def test_scheduler_decisions_and_locality(run_once, write_bench_json):
+    n_tasks = 10_000 if _SMOKE else 100_000
+    max_mean_decision_us = 5000.0 if _SMOKE else 1000.0
+
+    decisions = run_once(_run_decision_benchmark, n_tasks)
+
+    placements = {}
+    for policy in ("round_robin", "locality"):
+        run = run_locality_fixture(placement=policy)
+        placements[policy] = {
+            "wall_time": run.wall_time,
+            "serial_time": run.serial_time,
+            "cache_hits": run.cache_hits,
+            "cache_misses": run.cache_misses,
+            "consumer_nodes": run.consumer_nodes,
+        }
+
+    payload = {
+        "smoke": _SMOKE,
+        "max_mean_decision_us": max_mean_decision_us,
+        "decision_benchmark": decisions,
+        "locality_fixture": placements,
+    }
+    write_bench_json(BENCH_OUT, payload)
+
+    # Every task got exactly one placement decision.
+    assert decisions["decisions"] == decisions["n_tasks"]
+    assert decisions["mean_decision_us"] <= max_mean_decision_us
+    # The fig11 property: clustering consumers onto the producer's
+    # replica beats spreading them, in misses and in makespan.
+    loc, rr = placements["locality"], placements["round_robin"]
+    assert loc["cache_misses"] < rr["cache_misses"]
+    assert loc["wall_time"] < rr["wall_time"]
+    assert loc["consumer_nodes"] == 1

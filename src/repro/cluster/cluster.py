@@ -118,20 +118,23 @@ class Cluster:
     # ------------------------------------------------------------------
     # Node failure (fault injection)
     # ------------------------------------------------------------------
-    def fail_node(self, name: str) -> None:
+    def fail_node(self, name: str, force: bool = False) -> None:
         """Kill a node: it stops accepting tasks and every node-local tier
         it hosts becomes unreachable (shared mounts survive).  Idempotent.
 
-        At least one node must stay alive — a cluster with zero survivors
-        cannot place anything, which is a configuration error of the fault
-        plan, not a run-time state.
+        By default at least one node must stay alive — killing the last
+        node through the direct API is almost always a configuration
+        error.  A *fault plan* may legitimately model total cluster death
+        (``force=True``, used by the fault injector): schedulers then
+        raise :class:`~repro.workflow.scheduler.NoAliveNodesError` and the
+        runner aborts cleanly with partial results preserved.
         """
         node = self.node(name)
         if name in self._dead_nodes:
             return
         survivors = [n for n in self.nodes if n != name
                      and n not in self._dead_nodes]
-        if not survivors:
+        if not survivors and not force:
             raise ValueError(
                 f"cannot fail node {name!r}: it is the last live node")
         self._dead_nodes.add(name)

@@ -98,7 +98,10 @@ class FaultInjector:
             fault = self._pending_nodes.pop(0)
             if not self.cluster.is_alive(fault.node):
                 continue
-            self.cluster.fail_node(fault.node)
+            # A declared fault plan may model total cluster death; the
+            # schedulers surface that as NoAliveNodesError and the runner
+            # aborts cleanly rather than the injector crashing mid-poll.
+            self.cluster.fail_node(fault.node, force=True)
             self.injected["node"] += 1
             if self.emit is not None:
                 from repro.monitor.events import NodeFailed

@@ -44,7 +44,10 @@ from repro.monitor.events import (
     StageFinished,
     StageStarted,
     TaskFinished,
+    TaskReady,
+    TaskSpeculated,
     TaskStarted,
+    TaskStolen,
     VfdOp,
 )
 from repro.monitor.export import Counter, Gauge, Histogram, MetricsRegistry
@@ -60,6 +63,9 @@ __all__ = [
     "MonitorEvent",
     "TaskStarted",
     "TaskFinished",
+    "TaskReady",
+    "TaskStolen",
+    "TaskSpeculated",
     "StageStarted",
     "StageFinished",
     "FileOpened",

@@ -41,6 +41,9 @@ __all__ = [
     "TaskFinished",
     "TaskFailed",
     "TaskRetried",
+    "TaskReady",
+    "TaskStolen",
+    "TaskSpeculated",
     "NodeFailed",
     "StageStarted",
     "StageFinished",
@@ -111,6 +114,58 @@ class TaskRetried(MonitorEvent):
     previous_node: str = ""
 
     kind = "task_retried"
+
+
+@dataclass(slots=True)
+class TaskReady(MonitorEvent):
+    """Every dependency of a task reached memory: it entered the ready
+    heap of the event-driven scheduler (:mod:`repro.workflow.dscheduler`).
+
+    ``at`` is the *virtual* time the task became runnable (max over its
+    dependencies' virtual finishes, plus any retry backoff); ``time``
+    stays the raw simulated clock like every other event."""
+
+    stage: str = ""
+    #: Virtual (overlapped-schedule) time the task became ready.
+    at: float = 0.0
+    #: Scheduling priority (cost-model upward rank) it was enqueued with.
+    priority: float = 0.0
+
+    kind = "task_ready"
+
+
+@dataclass(slots=True)
+class TaskStolen(MonitorEvent):
+    """An idle node stole a task from its busy locality-preferred node.
+
+    Published by the event scheduler when work stealing re-routes a
+    ready task: ``victim`` is the node locality placement wanted (whose
+    slots were all busy), ``node`` the idle thief that runs it instead,
+    ``saved`` the virtual seconds of queue wait the steal avoided."""
+
+    node: str = ""
+    victim: str = ""
+    saved: float = 0.0
+
+    kind = "task_stolen"
+
+
+@dataclass(slots=True)
+class TaskSpeculated(MonitorEvent):
+    """A straggling task was speculatively re-executed on another node.
+
+    ``node`` ran the original copy in ``original_seconds``; ``speculative_node``
+    ran the backup copy in ``speculative_seconds``; ``won`` is True when
+    the backup finished first (its virtual completion is the one the
+    schedule keeps)."""
+
+    node: str = ""
+    speculative_node: str = ""
+    original_seconds: float = 0.0
+    speculative_seconds: float = 0.0
+    won: bool = False
+
+    kind = "task_speculated"
 
 
 @dataclass(slots=True)
@@ -215,5 +270,6 @@ class VfdOp(MonitorEvent):
 #: going lossy exactly when the run degrades would blind the observer.
 CRITICAL_KINDS = frozenset(
     {"task_started", "task_finished", "task_failed", "task_retried",
+     "task_ready", "task_stolen", "task_speculated",
      "node_failed", "stage_started", "stage_finished"}
 )

@@ -10,6 +10,11 @@ carried through shared files.  This package provides:
 - :class:`~repro.workflow.runner.WorkflowRunner` — executes the workflow
   on a simulated cluster under DaYu profiling, modelling parallel-stage
   wall-clock as the max of task durations with device contention applied;
+- :mod:`~repro.workflow.dscheduler` — the event-driven per-task
+  scheduler: ready-heap dispatch by cost-model rank, data-locality
+  placement from SDG edge volumes, work stealing and speculative
+  re-execution, with retry/re-placement folded into a per-task state
+  machine;
 - :mod:`~repro.workflow.contracts` — ahead-of-time access contracts:
   the datasets a task commits to reading/writing, declared at
   construction or inferred from source by :mod:`repro.lint.static`.
@@ -26,6 +31,14 @@ from repro.workflow.contracts import (
     validate_contract,
     writes,
 )
+from repro.workflow.dscheduler import (
+    DataflowRunner,
+    DataflowScheduler,
+    SpeculationPolicy,
+    TaskGraph,
+    TaskState,
+    upward_ranks,
+)
 from repro.workflow.model import Stage, Task, Workflow
 from repro.workflow.runner import (
     RetryPolicy,
@@ -35,7 +48,12 @@ from repro.workflow.runner import (
     WorkflowResult,
     WorkflowRunner,
 )
-from repro.workflow.scheduler import CoLocateScheduler, PinnedScheduler, RoundRobinScheduler
+from repro.workflow.scheduler import (
+    CoLocateScheduler,
+    NoAliveNodesError,
+    PinnedScheduler,
+    RoundRobinScheduler,
+)
 
 __all__ = [
     "Task",
@@ -50,6 +68,13 @@ __all__ = [
     "RoundRobinScheduler",
     "PinnedScheduler",
     "CoLocateScheduler",
+    "NoAliveNodesError",
+    "DataflowRunner",
+    "DataflowScheduler",
+    "SpeculationPolicy",
+    "TaskGraph",
+    "TaskState",
+    "upward_ranks",
     "TaskContract",
     "ContractAccess",
     "ContractError",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.workflow.contracts import TaskContract, validate_contract
 
@@ -34,18 +34,25 @@ class Task:
             :mod:`repro.workflow.contracts`).  Validated by
             :meth:`Workflow.validate`; consumed by the static lint front
             end and the contract-drift checker.
+        depends_on: Explicit upstream task names.  The stage-at-a-time
+            runner ignores these (its stage barrier is stricter); the
+            event-driven scheduler (:mod:`repro.workflow.dscheduler`)
+            adds them to the dependency graph on top of whatever its
+            dependency mode derives.
     """
 
     name: str
     fn: Callable[["TaskRuntime"], None]  # noqa: F821 - runner type
     compute_seconds: float = 0.0
     contract: Optional[TaskContract] = None
+    depends_on: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.compute_seconds < 0:
             raise ValueError(f"task {self.name}: negative compute time")
         if self.contract is not None and not self.contract.task:
             self.contract.task = self.name
+        self.depends_on = tuple(self.depends_on)
 
 
 @dataclass
@@ -95,6 +102,14 @@ class Workflow:
             raise ValueError(
                 f"workflow {self.name!r} has duplicate task names: {sorted(dupes)}"
             )
+        known = set(names)
         for t in tasks:
             if t.contract is not None:
                 validate_contract(t.contract, t.name)
+            for dep in t.depends_on:
+                if dep == t.name:
+                    raise ValueError(
+                        f"task {t.name!r} declares itself as a dependency")
+                if dep not in known:
+                    raise ValueError(
+                        f"task {t.name!r} depends on unknown task {dep!r}")

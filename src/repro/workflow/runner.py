@@ -48,7 +48,11 @@ from repro.mapper.mapper import DataSemanticMapper, TaskContext, TaskProfile
 from repro.posix.simfs import FsError
 from repro.vol.objects import VolFile
 from repro.workflow.model import Stage, Task, Workflow
-from repro.workflow.scheduler import RoundRobinScheduler, Scheduler
+from repro.workflow.scheduler import (
+    NoAliveNodesError,
+    RoundRobinScheduler,
+    Scheduler,
+)
 
 __all__ = [
     "TaskRuntime",
@@ -176,6 +180,13 @@ class StageResult:
 
     name: str
     wall_time: float
+    #: Stage span on the workflow's *virtual* timeline.  Stage-at-a-time
+    #: execution chains stages back to back (``started_at`` of stage *k*
+    #: is ``finished_at`` of stage *k-1*); the event scheduler overlaps
+    #: stages, so spans may intersect and the workflow makespan is the
+    #: first-start/last-finish envelope, not the sum of walls.
+    started_at: float = 0.0
+    finished_at: float = 0.0
     task_durations: Dict[str, float] = field(default_factory=dict)
     placement: Dict[str, str] = field(default_factory=dict)
     #: Tasks lost after retries (best-effort degradation or an abort).
@@ -202,6 +213,8 @@ class StageResult:
         return {
             "name": self.name,
             "wall_time": self.wall_time,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
             "task_durations": dict(self.task_durations),
             "placement": dict(self.placement),
             "failures": {t: f.to_json_dict()
@@ -222,7 +235,22 @@ class WorkflowResult:
 
     @property
     def wall_time(self) -> float:
-        """End-to-end makespan (sum of stage wall-clocks)."""
+        """End-to-end makespan: first stage start to last stage finish.
+
+        Stage-at-a-time execution chains stages, so this equals the sum
+        of stage wall-clocks there; the event-driven scheduler overlaps
+        stages, and summing overlapping walls would double-count — the
+        envelope is the honest makespan.  The old sum survives as
+        :attr:`serial_time` for stage-barrier comparisons.
+        """
+        if not self.stage_results:
+            return 0.0
+        return (max(s.finished_at for s in self.stage_results)
+                - min(s.started_at for s in self.stage_results))
+
+    @property
+    def serial_time(self) -> float:
+        """Sum of stage wall-clocks (the pre-overlap ``wall_time``)."""
         return sum(s.wall_time for s in self.stage_results)
 
     def stage(self, name: str) -> StageResult:
@@ -267,6 +295,7 @@ class WorkflowResult:
         return {
             "workflow": self.workflow,
             "wall_time": self.wall_time,
+            "serial_time": self.serial_time,
             "retries": self.retries,
             "degraded": self.degraded,
             "stages": [s.to_json_dict() for s in self.stage_results],
@@ -329,7 +358,11 @@ class WorkflowRunner:
         fresh = self.scheduler.place(stage, self.cluster).get(task.name)
         if fresh is not None and self.cluster.is_alive(fresh):
             return fresh
-        return self.cluster.alive_node_names()[0]
+        alive = self.cluster.alive_node_names()
+        if not alive:
+            raise NoAliveNodesError(self.cluster.dead_nodes,
+                                    f"retry of {task.name!r}")
+        return alive[0]
 
     # ------------------------------------------------------------------
     # Execution
@@ -349,7 +382,18 @@ class WorkflowRunner:
 
     def _run_stage(self, stage: Stage, result: WorkflowResult) -> StageResult:
         self._poll_faults()
-        placement = self.scheduler.place(stage, self.cluster)
+        started_at = (result.stage_results[-1].finished_at
+                      if result.stage_results else 0.0)
+        try:
+            placement = self.scheduler.place(stage, self.cluster)
+        except NoAliveNodesError:
+            # Total cluster death before the stage could start: record the
+            # stage as aborted-empty so the partial result stays honest,
+            # then let the typed error propagate as a clean abort.
+            result.stage_results.append(StageResult(
+                name=stage.name, wall_time=0.0, started_at=started_at,
+                finished_at=started_at, aborted=True))
+            raise
         missing = [t.name for t in stage.tasks if t.name not in placement]
         if missing:
             raise ValueError(f"scheduler left tasks unplaced: {missing}")
@@ -368,15 +412,22 @@ class WorkflowRunner:
             self.cluster.set_stage_concurrency(per_node)
 
         stage_result = StageResult(
-            name=stage.name, wall_time=0.0, placement=placement)
+            name=stage.name, wall_time=0.0, started_at=started_at,
+            placement=placement)
         # Appended up-front: an abort below still leaves the partial
         # stage timings on the workflow result.
         result.stage_results.append(stage_result)
         abort: Optional[BaseException] = None
         try:
             for task in stage.tasks:
-                duration, failure, cause = self._run_task(
-                    stage, task, placement, stage_result)
+                try:
+                    duration, failure, cause = self._run_task(
+                        stage, task, placement, stage_result)
+                except NoAliveNodesError as exc:
+                    # Re-placement found zero survivors: clean abort —
+                    # the partial stage timings below stay on the result.
+                    abort = exc
+                    break
                 if failure is None:
                     stage_result.task_durations[task.name] = duration
                 else:
@@ -391,6 +442,7 @@ class WorkflowRunner:
                 stage_result.wall_time = max(durations.values(), default=0.0)
             else:
                 stage_result.wall_time = sum(durations.values())
+            stage_result.finished_at = started_at + stage_result.wall_time
             stage_result.aborted = abort is not None
             if monitor is not None:
                 from repro.monitor.events import StageFinished

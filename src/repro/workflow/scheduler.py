@@ -4,16 +4,55 @@ The baseline is round-robin spreading; DaYu's analysis enables smarter
 moves — the paper co-schedules PyFLEXTRKR's stages 3-5 onto the node that
 produced their shared data, turning shared-filesystem traffic into
 node-local access.
+
+Liveness contract
+-----------------
+Every policy places onto *alive* nodes only.  A cluster with zero
+survivors (total node death under an aggressive fault plan) raises the
+typed :class:`NoAliveNodesError`, which the runner converts into a clean
+abort that preserves the partial :class:`~repro.workflow.runner
+.WorkflowResult`.  Pins and co-locate targets that name a node the fault
+plane has since killed fall back to a surviving node instead of pinning
+work onto a corpse — an unknown node name is still a configuration error
+and raises ``KeyError``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol
+from typing import Dict, List, Protocol, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.workflow.model import Stage
 
-__all__ = ["Scheduler", "RoundRobinScheduler", "PinnedScheduler", "CoLocateScheduler"]
+__all__ = [
+    "Scheduler",
+    "NoAliveNodesError",
+    "RoundRobinScheduler",
+    "PinnedScheduler",
+    "CoLocateScheduler",
+]
+
+
+class NoAliveNodesError(RuntimeError):
+    """Every node of the cluster is dead: nothing can be placed.
+
+    Raised by placement policies (and the event scheduler) instead of
+    crashing with ``ZeroDivisionError``/``IndexError``; the runner turns
+    it into a clean abort with partial results preserved.
+    """
+
+    def __init__(self, dead_nodes: Sequence[str], what: str = "tasks") -> None:
+        self.dead_nodes = sorted(dead_nodes)
+        super().__init__(
+            f"cannot place {what}: all {len(self.dead_nodes)} cluster "
+            f"node(s) are dead ({', '.join(self.dead_nodes)})")
+
+
+def _alive_or_raise(cluster: Cluster, what: str = "tasks") -> List[str]:
+    nodes = cluster.alive_node_names()
+    if not nodes:
+        raise NoAliveNodesError(cluster.dead_nodes, what)
+    return nodes
 
 
 class Scheduler(Protocol):
@@ -30,7 +69,7 @@ class RoundRobinScheduler:
     makes retry-with-re-placement land failed tasks on survivors."""
 
     def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
-        nodes: List[str] = cluster.alive_node_names()
+        nodes = _alive_or_raise(cluster, f"stage {stage.name!r}")
         return {
             task.name: nodes[i % len(nodes)]
             for i, task in enumerate(stage.tasks)
@@ -39,6 +78,11 @@ class RoundRobinScheduler:
 
 class PinnedScheduler:
     """Explicit task → node pinning; unpinned tasks fall back to round-robin.
+
+    A pin onto a node that has since died is *not honored*: the task falls
+    back to its round-robin assignment on a survivor, exactly as if the
+    runner had released the pin.  Pinning to a node that never existed is
+    still a ``KeyError`` — that is a broken plan, not a run-time state.
 
     Args:
         pins: Task name → node name.
@@ -55,6 +99,8 @@ class PinnedScheduler:
             if pin is not None:
                 if pin not in cluster.nodes:
                     raise KeyError(f"pinned node {pin!r} not in cluster")
+                if not cluster.is_alive(pin):
+                    continue  # dead pin: keep the survivor fallback
                 placement[task.name] = pin
         return placement
 
@@ -67,9 +113,13 @@ class CoLocateScheduler:
     """Place every task of the named stages on one node — DaYu's
     co-scheduling recommendation for producer/consumer stage chains.
 
+    When the explicit target node has died, co-location degrades to the
+    first surviving node (the same default used when no node is given)
+    rather than pinning the whole stage onto a corpse.
+
     Args:
         stages: Stage names to co-locate.
-        node: Target node (defaults to the cluster's first node).
+        node: Target node (defaults to the cluster's first alive node).
     """
 
     def __init__(self, stages: List[str], node: str | None = None) -> None:
@@ -79,8 +129,11 @@ class CoLocateScheduler:
 
     def place(self, stage: Stage, cluster: Cluster) -> Dict[str, str]:
         if stage.name in self.stages:
-            node = self.node or cluster.alive_node_names()[0]
-            if node not in cluster.nodes:
+            alive = _alive_or_raise(cluster, f"stage {stage.name!r}")
+            node = self.node
+            if node is not None and node not in cluster.nodes:
                 raise KeyError(f"co-locate node {node!r} not in cluster")
+            if node is None or not cluster.is_alive(node):
+                node = alive[0]
             return {task.name: node for task in stage.tasks}
         return self._fallback.place(stage, cluster)
